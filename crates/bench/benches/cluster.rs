@@ -1,0 +1,45 @@
+//! Whole-cluster benchmarks: how fast the simulation itself runs. One
+//! simulated second of the shrunk test-bed per iteration, for each
+//! PRESS version — the macro number that bounds every experiment's
+//! wall-clock time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use experiments::{ClusterConfig, ClusterSim};
+use press::PressVersion;
+use simnet::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn cluster_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim_second");
+    group.sample_size(10);
+    for version in [PressVersion::Tcp, PressVersion::Via0, PressVersion::Via5] {
+        group.bench_function(version.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = ClusterSim::new(ClusterConfig::small(version), 1);
+                    sim.run_until(SimTime::from_secs(2)); // warm
+                    sim
+                },
+                |mut sim| {
+                    let until = sim.now() + SimDuration::from_secs(1);
+                    sim.run_until(until);
+                    black_box(sim.report().availability.attempts)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn cluster_boot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_boot");
+    group.sample_size(10);
+    group.bench_function("build_and_prewarm", |b| {
+        b.iter(|| black_box(ClusterSim::new(ClusterConfig::small(PressVersion::Via5), 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cluster_second, cluster_boot);
+criterion_main!(benches);

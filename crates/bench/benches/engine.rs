@@ -1,0 +1,94 @@
+//! Microbenchmarks of the discrete-event engine and the seeded RNG —
+//! the substrate every experiment's wall-clock time hangs on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use simnet::{Engine, SimDuration, SimRng, SimTime};
+use std::hint::black_box;
+
+fn engine_schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for n in [1_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(format!("schedule_pop_{n}"), |b| {
+            b.iter_batched(
+                Engine::new,
+                |mut engine| {
+                    // Interleaved schedule/pop with a pseudo-random time
+                    // pattern, like a live simulation.
+                    let mut t = 0u64;
+                    for i in 0..n {
+                        t = t.wrapping_mul(6364136223846793005).wrapping_add(i) % 1_000_000_000;
+                        engine.schedule_at(
+                            SimTime::from_nanos(engine.now().as_nanos() + t),
+                            i,
+                        );
+                        if i % 2 == 0 {
+                            black_box(engine.pop());
+                        }
+                    }
+                    while let Some(ev) = engine.pop() {
+                        black_box(ev);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn engine_dense_same_time(c: &mut Criterion) {
+    c.bench_function("engine/fifo_ties_10k", |b| {
+        b.iter_batched(
+            Engine::new,
+            |mut engine| {
+                let t = SimTime::from_secs(1);
+                for i in 0..10_000 {
+                    engine.schedule_at(t, i);
+                }
+                while let Some(ev) = engine.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn rng_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("exponential", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| black_box(rng.exponential(5_000.0)))
+    });
+    group.bench_function("uniform", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| black_box(rng.uniform()))
+    });
+    group.finish();
+}
+
+fn throughput_recorder(c: &mut Criterion) {
+    c.bench_function("stats/record_100k", |b| {
+        b.iter_batched(
+            || simnet::ThroughputRecorder::new(SimDuration::from_secs(1)),
+            |mut rec| {
+                for i in 0..100_000u64 {
+                    rec.record(SimTime::from_nanos(i * 3_000));
+                }
+                black_box(rec.total())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    engine_schedule_pop,
+    engine_dense_same_time,
+    rng_sampling,
+    throughput_recorder
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- <target> [--small] [--seed N]
+//! ```
+//!
+//! where `<target>` is one of `table1`, `table2`, `table3`, `fig2`,
+//! `fig3`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
+//! `offbyn`, `crossover`, `ablation-membership`, `ablation-heartbeat`,
+//! or `all`. `--small` runs on the shrunk
+//! test-bed (fast, for smoke-testing the harness; numbers will differ
+//! from the paper's scale).
+
+use std::env;
+
+use experiments::figures::{
+    ablation_heartbeat, ablation_membership, build_profiles, crossover, fig10, fig2, fig3, fig4,
+    fig5, fig6, fig7, fig8, fig9, off_by_n_summary, table1, table2, table3, REPRO_SEED,
+};
+use experiments::phase2::RunScale;
+use performability::fault_load::DAY;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut target = String::from("all");
+    let mut scale = RunScale::Paper;
+    let mut seed = REPRO_SEED;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--small" => scale = RunScale::Small,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            t if !t.starts_with('-') => target = t.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let needs_profiles = matches!(
+        target.as_str(),
+        "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "crossover" | "all"
+    );
+    let profiles = if needs_profiles {
+        eprintln!("building per-version fault profiles (phase 1: 11 faults x 5 versions)...");
+        Some(build_profiles(scale, seed))
+    } else {
+        None
+    };
+    let profiles = profiles.as_deref();
+
+    let run = |name: &str| match name {
+        "table1" => println!("{}", table1(scale, seed).0),
+        "table2" => println!("{}", table2()),
+        "table3" => println!("{}", table3(DAY)),
+        "fig2" => println!("{}", fig2(scale, seed)),
+        "fig3" => println!("{}", fig3(scale, seed)),
+        "fig4" => println!("{}", fig4(scale, seed)),
+        "fig5" => println!("{}", fig5(scale, seed)),
+        "fig6" => println!("{}", fig6(profiles.expect("profiles built"))),
+        "fig7" => println!("{}", fig7(profiles.expect("profiles built"))),
+        "fig8" => println!("{}", fig8(profiles.expect("profiles built"))),
+        "fig9" => println!("{}", fig9(profiles.expect("profiles built"))),
+        "fig10" => println!("{}", fig10(profiles.expect("profiles built"))),
+        "offbyn" => println!("{}", off_by_n_summary(scale, seed)),
+        "ablation-membership" => println!("{}", ablation_membership(scale, seed)),
+        "ablation-heartbeat" => println!("{}", ablation_heartbeat(scale, seed)),
+        "crossover" => println!("{}", crossover(profiles.expect("profiles built"))),
+        other => {
+            eprintln!("unknown target {other}");
+            std::process::exit(2);
+        }
+    };
+
+    if target == "all" {
+        for name in [
+            "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "offbyn", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "crossover", "ablation-membership",
+            "ablation-heartbeat",
+        ] {
+            println!("==============================================================");
+            run(name);
+        }
+    } else {
+        run(&target);
+    }
+}

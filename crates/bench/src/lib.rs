@@ -1,0 +1,8 @@
+//! Benchmark and reproduction harness for the paper's tables and
+//! figures.
+//!
+//! * `src/bin/repro.rs` — regenerates every table and figure as text:
+//!   `cargo run --release -p bench --bin repro -- all`.
+//! * `benches/` — Criterion micro- and macro-benchmarks of the engine,
+//!   the transports, the PRESS cache, whole-cluster stepping, and the
+//!   per-figure reproduction runs.

@@ -1,0 +1,212 @@
+//! Phase 2: combining per-fault behaviour with the fault load (§2.2).
+//!
+//! With `Tn` the normal-operation throughput, `c` ranging over faults,
+//! `T_c^s`/`D_c^s` the stage throughputs and durations, and
+//! `W_c = Σ_s D_c^s / MTTF_c`:
+//!
+//! ```text
+//! AT = (1 - Σ_c W_c)·Tn + Σ_c Σ_s (D_c^s / MTTF_c)·T_c^s
+//! AA = AT / Tn
+//! ```
+//!
+//! The denominator of `W_c` is `MTTF_c` (not `MTTF_c + MTTR_c`); the
+//! methodology TR discusses why this is the correct normalization. Each
+//! fault class contributes `instances / MTTF` arrivals per second.
+
+use crate::fault_load::FaultEntry;
+use crate::stages::SevenStage;
+
+/// A fault class paired with the measured 7-stage behaviour of the
+/// server under it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultBehavior {
+    /// The fault class and its rates.
+    pub entry: FaultEntry,
+    /// The server's response (phase-1 measurement, with stage C scaled
+    /// to the class MTTR).
+    pub stages: SevenStage,
+}
+
+impl FaultBehavior {
+    /// Fraction of time the system spends off-normal due to this fault
+    /// class (the `W_c` term, times instances).
+    pub fn degraded_fraction(&self) -> f64 {
+        self.stages.total_duration() * self.entry.cluster_rate()
+    }
+
+    /// This fault class's contribution to unavailability:
+    /// `Σ_s D^s (Tn − T^s) / (MTTF · Tn)`, summed over instances.
+    pub fn unavailability(&self, tn: f64) -> f64 {
+        assert!(tn > 0.0, "normal throughput must be positive");
+        let lost: f64 = self
+            .stages
+            .iter()
+            .map(|(_, p)| p.duration * (tn - p.throughput.min(tn)))
+            .sum();
+        lost * self.entry.cluster_rate() / tn
+    }
+}
+
+/// Average throughput `AT` under the fault load.
+///
+/// # Panics
+///
+/// Panics if `tn <= 0` or the fault load is so heavy the single-fault
+/// queueing assumption collapses (`Σ W_c >= 1`).
+pub fn average_throughput(tn: f64, behaviors: &[FaultBehavior]) -> f64 {
+    assert!(tn > 0.0, "normal throughput must be positive");
+    let w: f64 = behaviors.iter().map(FaultBehavior::degraded_fraction).sum();
+    assert!(
+        w < 1.0,
+        "fault load leaves no normal-operation time (sum of W_c = {w}); \
+         the single-fault queueing assumption does not hold"
+    );
+    let degraded: f64 = behaviors
+        .iter()
+        .map(|b| {
+            let rate = b.entry.cluster_rate();
+            b.stages
+                .iter()
+                // Measured transients can overshoot Tn (cache-warm
+                // bursts); the model caps stage throughput at Tn so a
+                // fault can never *add* capacity.
+                .map(|(_, p)| p.duration * p.throughput.min(tn) * rate)
+                .sum::<f64>()
+        })
+        .sum();
+    (1.0 - w) * tn + degraded
+}
+
+/// Average availability `AA = AT / Tn`.
+pub fn average_availability(tn: f64, behaviors: &[FaultBehavior]) -> f64 {
+    average_throughput(tn, behaviors) / tn
+}
+
+/// Per-fault-class unavailability contributions (the stacking in
+/// Figure 6(a)), in the order given.
+pub fn unavailability_breakdown(tn: f64, behaviors: &[FaultBehavior]) -> Vec<(FaultEntry, f64)> {
+    behaviors
+        .iter()
+        .map(|b| (b.entry, b.unavailability(tn)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_load::ModelFault;
+    use crate::stages::Stage;
+
+    fn entry(mttf: f64, instances: u32) -> FaultEntry {
+        FaultEntry {
+            fault: ModelFault::NodeCrash,
+            mttf,
+            mttr: 180.0,
+            instances,
+        }
+    }
+
+    #[test]
+    fn no_faults_means_full_availability() {
+        assert_eq!(average_availability(1000.0, &[]), 1.0);
+        assert_eq!(average_throughput(1000.0, &[]), 1000.0);
+    }
+
+    #[test]
+    fn hand_computed_single_fault() {
+        // One fault class: 1 instance, MTTF 1000s; down 10s at zero
+        // throughput per fault.
+        let mut stages = SevenStage::zeroed();
+        stages.set(Stage::A, 10.0, 0.0);
+        let b = FaultBehavior {
+            entry: entry(1000.0, 1),
+            stages,
+        };
+        let tn = 500.0;
+        // W = 10/1000 = 0.01 → AT = 0.99·500 = 495, AA = 0.99.
+        assert!((average_throughput(tn, &[b.clone()]) - 495.0).abs() < 1e-9);
+        assert!((average_availability(tn, &[b.clone()]) - 0.99).abs() < 1e-12);
+        assert!((b.unavailability(tn) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_stages_recover_partial_throughput() {
+        let mut stages = SevenStage::zeroed();
+        stages.set(Stage::C, 10.0, 250.0); // half throughput
+        let b = FaultBehavior {
+            entry: entry(1000.0, 1),
+            stages,
+        };
+        let tn = 500.0;
+        // AT = 0.99·500 + (10/1000)·250 = 495 + 2.5
+        assert!((average_throughput(tn, &[b.clone()]) - 497.5).abs() < 1e-9);
+        assert!((b.unavailability(tn) - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instances_scale_linearly() {
+        let mut stages = SevenStage::zeroed();
+        stages.set(Stage::A, 10.0, 0.0);
+        let one = FaultBehavior {
+            entry: entry(1000.0, 1),
+            stages: stages.clone(),
+        };
+        let four = FaultBehavior {
+            entry: entry(1000.0, 4),
+            stages,
+        };
+        let u1 = one.unavailability(500.0);
+        let u4 = four.unavailability(500.0);
+        assert!((u4 - 4.0 * u1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total_unavailability() {
+        let mut s1 = SevenStage::zeroed();
+        s1.set(Stage::A, 15.0, 0.0);
+        s1.set(Stage::C, 165.0, 300.0);
+        let mut s2 = SevenStage::zeroed();
+        s2.set(Stage::A, 60.0, 100.0);
+        let behaviors = vec![
+            FaultBehavior {
+                entry: entry(50_000.0, 4),
+                stages: s1,
+            },
+            FaultBehavior {
+                entry: entry(200_000.0, 1),
+                stages: s2,
+            },
+        ];
+        let tn = 500.0;
+        let total = 1.0 - average_availability(tn, &behaviors);
+        let sum: f64 = unavailability_breakdown(tn, &behaviors)
+            .iter()
+            .map(|(_, u)| u)
+            .sum();
+        assert!((total - sum).abs() < 1e-12, "total {total} vs sum {sum}");
+    }
+
+    #[test]
+    fn throughput_above_tn_cannot_create_negative_unavailability() {
+        // A warmup overshoot above Tn must not make the fault "help".
+        let mut stages = SevenStage::zeroed();
+        stages.set(Stage::D, 10.0, 1_000.0);
+        let b = FaultBehavior {
+            entry: entry(1000.0, 1),
+            stages,
+        };
+        assert!(b.unavailability(500.0) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-fault")]
+    fn impossible_fault_load_is_rejected() {
+        let mut stages = SevenStage::zeroed();
+        stages.set(Stage::A, 2_000.0, 0.0);
+        let b = FaultBehavior {
+            entry: entry(1000.0, 1),
+            stages,
+        };
+        average_throughput(100.0, &[b]);
+    }
+}

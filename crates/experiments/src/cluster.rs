@@ -1,0 +1,695 @@
+//! The live simulated cluster: PRESS on TCP or VIA over the cLAN
+//! fabric, driven by Poisson clients, with Mendosus faults applied in
+//! real time.
+
+use std::collections::VecDeque;
+
+use mendosus::{Campaign, FaultAction, FaultKind, FaultPhase, PlannedMangle};
+use press::{
+    AppEffect, AppEvent, ClientAccept, NodeCtx, PressConfig, PressMsg, PressNode, PressVersion,
+    Request,
+};
+use simnet::fabric::{Fabric, FabricConfig, Frame, LossReason, NodeId};
+use simnet::{
+    AvailabilityCounter, CpuMeter, Engine, LatencyHistogram, SimDuration, SimRng, SimTime,
+    TimeSeries,
+};
+use transport::{
+    Effect, Effects, Substrate, TcpConfig, TcpStack, TimerKey, Upcall, ViaConfig, ViaNic,
+    WirePayload,
+};
+use workload::{ClientConfig, ClientEvent, ClientPool};
+
+/// Everything needed to build a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Which PRESS version to run.
+    pub version: PressVersion,
+    /// Server parameters.
+    pub press: PressConfig,
+    /// Network fabric parameters.
+    pub fabric: FabricConfig,
+    /// TCP stack parameters (TCP versions).
+    pub tcp: TcpConfig,
+    /// VIA NIC parameters (VIA versions).
+    pub via: ViaConfig,
+    /// Aggregate client request rate (requests/second).
+    pub rate: f64,
+    /// Pre-populate caches and directories (skip cold-cache warm-up).
+    pub prewarm: bool,
+    /// Delay before the Mendosus daemon restarts a dead process.
+    pub restart_delay: SimDuration,
+}
+
+impl ClusterConfig {
+    /// The paper's test-bed for `version`, driven slightly above the
+    /// version's nominal peak so measured throughput is the near-peak
+    /// capacity (Table 1's operating point).
+    pub fn paper_defaults(version: PressVersion) -> Self {
+        let mut via = match version.via_mode() {
+            Some(transport::ViaMode::RemoteWrite) => ViaConfig::remote_write(),
+            _ => ViaConfig::messaging(),
+        };
+        // VIA-PRESS-5 pins its whole 128 MB cache (32768 pages) plus the
+        // startup communication buffers.
+        via.pinned_page_limit = 40_000;
+        ClusterConfig {
+            version,
+            press: PressConfig::paper_testbed(),
+            fabric: FabricConfig::clan_four_nodes(),
+            tcp: TcpConfig::default(),
+            via,
+            rate: version.paper_throughput() * 1.06,
+            prewarm: true,
+            restart_delay: SimDuration::from_secs(3),
+        }
+    }
+
+    /// The operating point for fault-injection experiments: the same
+    /// test-bed driven just under peak, so the pre-fault baseline is
+    /// stable and fully served ("the delivered throughput is relatively
+    /// stable throughout the observation period", §2.1).
+    pub fn fault_experiment(version: PressVersion) -> Self {
+        let mut c = ClusterConfig::paper_defaults(version);
+        c.rate = version.paper_throughput() * 0.95;
+        c
+    }
+
+    /// A proportionally shrunk test-bed for fast unit/integration tests:
+    /// same cache-to-working-set ratios and behaviours, an order of
+    /// magnitude fewer events.
+    pub fn small(version: PressVersion) -> Self {
+        let mut c = ClusterConfig::paper_defaults(version);
+        c.press.files = 6_000;
+        c.press.cache_bytes = 1_640 * u64::from(c.press.file_bytes);
+        c.rate = 900.0;
+        c
+    }
+}
+
+/// What happened to a process, for the run log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcEvent {
+    /// The process died (fault or fail-fast).
+    Exit,
+    /// The process came back up.
+    Restart,
+}
+
+/// Simulation events.
+#[derive(Debug)]
+enum Ev {
+    Frame(Frame<WirePayload<PressMsg>>),
+    Timer(TimerKey),
+    App { node: usize, gen: u64, ev: AppEvent },
+    Reply { node: usize, gen: u64, req_id: u64 },
+    Client(ClientEvent),
+    Fault(usize),
+    ProcessRestart { node: usize, gen: u64 },
+}
+
+/// Internal work items processed synchronously within one event.
+enum Work {
+    Client(Request),
+    AppEv(AppEvent),
+    Upcall(Upcall<PressMsg>),
+    FrameIn(Frame<WirePayload<PressMsg>>),
+    Timer(TimerKey),
+    TransmitFailed(NodeId, LossReason),
+    Start { cold: bool },
+    SetHung(bool),
+}
+
+struct NodeSlot {
+    press: PressNode,
+    sub: Box<dyn Substrate<PressMsg>>,
+    cpu: CpuMeter,
+    mangler: mendosus::Mangler,
+    running: bool,
+    hung: bool,
+    frozen: bool,
+    gen: u64,
+    freezer: Vec<Work>,
+}
+
+/// Summary of a finished (or in-progress) run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Successful-request throughput, 1 s buckets.
+    pub throughput: TimeSeries,
+    /// Request outcome tallies.
+    pub availability: AvailabilityCounter,
+    /// Response-time distribution of the successful requests.
+    pub latency: LatencyHistogram,
+    /// `(time, node, members)` whenever a node's membership view
+    /// changed size.
+    pub membership_log: Vec<(SimTime, NodeId, usize)>,
+    /// `(time, node, event)` process exits and restarts.
+    pub process_log: Vec<(SimTime, NodeId, ProcEvent)>,
+    /// Per-node membership sizes at the end of the run.
+    pub final_members: Vec<usize>,
+    /// Whether every process was running at the end of the run.
+    pub all_running: bool,
+}
+
+impl ClusterReport {
+    /// `true` if the cluster ended the run fully merged and running —
+    /// i.e. no operator intervention would be needed.
+    pub fn fully_recovered(&self, nodes: usize) -> bool {
+        self.all_running && self.final_members.iter().all(|m| *m == nodes)
+    }
+}
+
+/// The simulated cluster.
+pub struct ClusterSim {
+    config: ClusterConfig,
+    engine: Engine<Ev>,
+    fabric: Fabric,
+    nodes: Vec<NodeSlot>,
+    clients: ClientPool,
+    actions: Vec<FaultAction>,
+    membership_log: Vec<(SimTime, NodeId, usize)>,
+    process_log: Vec<(SimTime, NodeId, ProcEvent)>,
+    last_members: Vec<usize>,
+}
+
+impl ClusterSim {
+    /// Builds and boots a fault-free cluster.
+    pub fn new(config: ClusterConfig, seed: u64) -> Self {
+        ClusterSim::with_campaign(config, Campaign::none(), seed)
+    }
+
+    /// Builds and boots a cluster with a fault campaign armed.
+    pub fn with_campaign(config: ClusterConfig, campaign: Campaign, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let n = config.press.nodes;
+        let mut engine = Engine::new();
+        let fabric = Fabric::new(config.fabric.clone());
+        let client_config = ClientConfig {
+            rate: config.rate,
+            nodes: n,
+            files: config.press.files,
+            ..ClientConfig::paper(config.rate)
+        };
+        let mut clients = ClientPool::new(client_config, rng.fork());
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = NodeId(i);
+            let sub: Box<dyn Substrate<PressMsg>> = if config.version.uses_via() {
+                Box::new(ViaNic::new(id, config.via.clone(), config.version.cost_model()))
+            } else {
+                Box::new(TcpStack::new(id, config.tcp.clone(), config.version.cost_model()))
+            };
+            nodes.push(NodeSlot {
+                press: PressNode::new(id, config.version, config.press.clone()),
+                sub,
+                cpu: CpuMeter::new(),
+                mangler: mendosus::Mangler::new(),
+                running: true,
+                hung: false,
+                frozen: false,
+                gen: 0,
+                freezer: Vec::new(),
+            });
+        }
+        // Arm the campaign.
+        let actions = campaign.actions();
+        for (i, a) in actions.iter().enumerate() {
+            engine.schedule_at(a.at, Ev::Fault(i));
+        }
+        // First client arrival.
+        let first = clients.first_arrival(SimTime::ZERO);
+        engine.schedule_at(first, Ev::Client(ClientEvent::Arrival));
+
+        let mut sim = ClusterSim {
+            last_members: vec![0; n],
+            config,
+            engine,
+            fabric,
+            nodes,
+            clients,
+            actions,
+            membership_log: Vec::new(),
+            process_log: Vec::new(),
+        };
+        // Cold-boot every node.
+        let mut work = VecDeque::new();
+        for i in 0..n {
+            work.push_back((i, Work::Start { cold: true }));
+        }
+        sim.drain_work(SimTime::ZERO, work);
+        if sim.config.prewarm {
+            sim.prewarm();
+        }
+        sim
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Direct fabric access (tests and custom scenarios).
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// A node's PRESS state (tests and reports).
+    pub fn press(&self, node: NodeId) -> &PressNode {
+        &self.nodes[node.0].press
+    }
+
+    /// Whether a node's process is currently running.
+    pub fn process_running(&self, node: NodeId) -> bool {
+        self.nodes[node.0].running
+    }
+
+    fn prewarm(&mut self) {
+        // Spread the document set round-robin over the nodes, matching
+        // the steady state cooperative caching converges to.
+        let n = self.config.press.nodes;
+        let per_node = self.config.press.cache_entries();
+        let assignment: Vec<NodeId> = (0..self.config.press.files)
+            .map(|f| NodeId(f as usize % n))
+            .collect();
+        for (f, node) in assignment.iter().enumerate() {
+            assert!(
+                f / n < per_node,
+                "document set must fit in the aggregate cache for prewarm"
+            );
+            let _ = node;
+        }
+        let now = self.engine.now();
+        for i in 0..n {
+            let slot = &mut self.nodes[i];
+            let mut fx = Vec::new();
+            let mut app = Vec::new();
+            let mut ctx = NodeCtx {
+                now,
+                cpu: &mut slot.cpu,
+                sub: slot.sub.as_mut(),
+                interposer: &mut slot.mangler,
+                fx: &mut fx,
+                app: &mut app,
+            };
+            slot.press.prewarm(&mut ctx, &assignment);
+            // Prewarm is setup, not simulation: discard the effects (the
+            // CPU cost of loading caches happened "before" the run).
+            fx.clear();
+            app.clear();
+        }
+    }
+
+    /// Runs the simulation until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some((now, ev)) = self.engine.pop_before(deadline) {
+            self.handle(now, ev);
+        }
+    }
+
+    /// Builds the report for everything seen so far.
+    pub fn report(&self) -> ClusterReport {
+        let end = self.engine.now();
+        ClusterReport {
+            throughput: self.clients.throughput(end),
+            availability: self.clients.counter().clone(),
+            latency: self.clients.latency().clone(),
+            membership_log: self.membership_log.clone(),
+            process_log: self.process_log.clone(),
+            final_members: self.nodes.iter().map(|s| s.press.members().len()).collect(),
+            all_running: self.nodes.iter().all(|s| s.running),
+        }
+    }
+
+    /// Mean successful throughput over `[t0, t1)` seconds.
+    pub fn mean_throughput(&self, t0: f64, t1: f64) -> f64 {
+        self.clients.mean_throughput(self.engine.now(), t0, t1)
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        let mut work: VecDeque<(usize, Work)> = VecDeque::new();
+        match ev {
+            Ev::Frame(frame) => {
+                let dst = frame.dst.0;
+                if self.fabric.node_up(frame.dst) {
+                    work.push_back((dst, Work::FrameIn(frame)));
+                }
+            }
+            Ev::Timer(key) => {
+                let node = key.node.0;
+                if self.fabric.node_up(key.node) {
+                    work.push_back((node, Work::Timer(key)));
+                }
+            }
+            Ev::App { node, gen, ev } => {
+                if self.nodes[node].running && self.nodes[node].gen == gen {
+                    work.push_back((node, Work::AppEv(ev)));
+                }
+            }
+            Ev::Reply { node, gen, req_id } => {
+                if self.nodes[node].running && self.nodes[node].gen == gen {
+                    self.clients.complete(now, req_id);
+                }
+            }
+            Ev::Client(ClientEvent::Arrival) => {
+                let (req, target, next) = self.clients.arrive(now);
+                self.engine.schedule_at(next, Ev::Client(ClientEvent::Arrival));
+                let slot = &self.nodes[target.0];
+                if !self.fabric.node_up(target) || slot.frozen {
+                    // Machine unresponsive: SYN goes nowhere.
+                    self.clients.connect_failed();
+                } else if !slot.running {
+                    // Machine up, process dead: refused immediately.
+                    self.clients.refused();
+                } else if slot.hung {
+                    // The kernel accepts; the application never reads.
+                    let deadline = self.clients.accepted(now, req.id);
+                    self.engine
+                        .schedule_at(deadline, Ev::Client(ClientEvent::Deadline(req.id)));
+                    self.nodes[target.0].freezer.push(Work::Client(req));
+                } else {
+                    work.push_back((target.0, Work::Client(req)));
+                }
+            }
+            Ev::Client(ClientEvent::Deadline(id)) => {
+                self.clients.deadline(id);
+            }
+            Ev::ProcessRestart { node, gen } => {
+                let slot = &mut self.nodes[node];
+                if slot.gen == gen && !slot.running {
+                    slot.running = true;
+                    self.process_log.push((now, NodeId(node), ProcEvent::Restart));
+                    work.push_back((node, Work::Start { cold: false }));
+                }
+            }
+            Ev::Fault(idx) => {
+                let action = self.actions[idx].clone();
+                self.apply_fault(now, &action, &mut work);
+            }
+        }
+        self.drain_work(now, work);
+    }
+
+    fn apply_fault(&mut self, now: SimTime, action: &FaultAction, work: &mut VecDeque<(usize, Work)>) {
+        let spec = &action.spec;
+        let node = spec.node;
+        let inject = action.phase == FaultPhase::Inject;
+        match spec.kind {
+            FaultKind::LinkDown => self.fabric.set_link_up(node, !inject),
+            FaultKind::SwitchDown => self.fabric.set_switch_up(!inject),
+            FaultKind::NodeCrash => {
+                if inject {
+                    self.fabric.set_node_up(node, false);
+                    self.kill_process(now, node.0, None);
+                } else {
+                    // Machine back up; Mendosus restarts PRESS after the
+                    // boot completes.
+                    self.fabric.set_node_up(node, true);
+                    let gen = self.nodes[node.0].gen;
+                    self.engine.schedule_at(
+                        now + self.config.restart_delay,
+                        Ev::ProcessRestart { node: node.0, gen },
+                    );
+                }
+            }
+            FaultKind::NodeHang => {
+                let slot = &mut self.nodes[node.0];
+                if inject {
+                    self.fabric.set_node_up(node, false);
+                    slot.frozen = true;
+                } else {
+                    self.fabric.set_node_up(node, true);
+                    slot.frozen = false;
+                    let frozen_work = std::mem::take(&mut slot.freezer);
+                    for w in frozen_work {
+                        work.push_back((node.0, w));
+                    }
+                }
+            }
+            FaultKind::KernelAllocFail => {
+                self.nodes[node.0].sub.set_alloc_fail(inject);
+            }
+            FaultKind::MemPinFail => {
+                self.nodes[node.0].sub.set_pin_fail(inject);
+            }
+            FaultKind::AppHang => {
+                if inject {
+                    self.nodes[node.0].hung = true;
+                    work.push_back((node.0, Work::SetHung(true)));
+                } else {
+                    self.nodes[node.0].hung = false;
+                    work.push_back((node.0, Work::SetHung(false)));
+                    let frozen_work = std::mem::take(&mut self.nodes[node.0].freezer);
+                    for w in frozen_work {
+                        work.push_back((node.0, w));
+                    }
+                }
+            }
+            FaultKind::AppCrash => {
+                if inject {
+                    self.kill_process(now, node.0, spec.duration);
+                } else {
+                    // Restart handled by the scheduled ProcessRestart.
+                }
+            }
+            FaultKind::BadParamNull | FaultKind::BadParamOffPtr | FaultKind::BadParamOffSize => {
+                if inject {
+                    let bad = match spec.kind {
+                        FaultKind::BadParamNull => mendosus::BadParam::NullPtr,
+                        FaultKind::BadParamOffPtr => mendosus::BadParam::OffByPtr(spec.off_n),
+                        _ => mendosus::BadParam::OffBySize(spec.off_n.max(1)),
+                    };
+                    self.nodes[node.0].mangler.plan(PlannedMangle {
+                        at: now,
+                        class: spec.class,
+                        bad,
+                    });
+                }
+            }
+        }
+    }
+
+    fn kill_process(&mut self, now: SimTime, node: usize, restart_after: Option<SimDuration>) {
+        let slot = &mut self.nodes[node];
+        if !slot.running {
+            return;
+        }
+        slot.running = false;
+        slot.hung = false;
+        slot.gen += 1;
+        slot.cpu.reset_backlog(now);
+        slot.freezer.clear();
+        slot.sub.restart(now);
+        self.process_log.push((now, NodeId(node), ProcEvent::Exit));
+        if let Some(delay) = restart_after {
+            let gen = slot.gen;
+            self.engine
+                .schedule_at(now + delay, Ev::ProcessRestart { node, gen });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Work processing
+    // ------------------------------------------------------------------
+
+    fn drain_work(&mut self, now: SimTime, mut work: VecDeque<(usize, Work)>) {
+        while let Some((i, w)) = work.pop_front() {
+            let mut fx: Effects<PressMsg> = Vec::new();
+            let mut app: Vec<AppEffect> = Vec::new();
+            let mut accept: Option<(u64, ClientAccept)> = None;
+            {
+                let slot = &mut self.nodes[i];
+                // Transport-level work reaches the endpoint even when
+                // the process is gone (the kernel answers with resets);
+                // application work requires a live, unfrozen process.
+                let transport_work = matches!(
+                    w,
+                    Work::FrameIn(_) | Work::Timer(_) | Work::TransmitFailed(..)
+                );
+                if !transport_work {
+                    if !slot.running && !matches!(w, Work::Start { .. }) {
+                        continue;
+                    }
+                    if (slot.frozen || slot.hung)
+                        && !matches!(w, Work::SetHung(_) | Work::Start { .. })
+                    {
+                        slot.freezer.push(w);
+                        continue;
+                    }
+                }
+                let mut ctx = NodeCtx {
+                    now,
+                    cpu: &mut slot.cpu,
+                    sub: slot.sub.as_mut(),
+                    interposer: &mut slot.mangler,
+                    fx: &mut fx,
+                    app: &mut app,
+                };
+                match w {
+                    Work::Client(req) => {
+                        let a = slot.press.client_request(&mut ctx, req);
+                        accept = Some((req.id, a));
+                    }
+                    Work::AppEv(ev) => slot.press.on_app_event(&mut ctx, ev),
+                    Work::Upcall(u) => {
+                        if slot.running && !slot.frozen {
+                            if slot.hung {
+                                drop(ctx);
+                                slot.freezer.push(Work::Upcall(u));
+                            } else {
+                                slot.press.on_upcall(&mut ctx, u);
+                            }
+                        }
+                    }
+                    Work::FrameIn(frame) => ctx.sub.frame_arrived(now, frame, ctx.fx),
+                    Work::Timer(key) => ctx.sub.timer_fired(now, key, ctx.fx),
+                    Work::TransmitFailed(peer, reason) => {
+                        ctx.sub.transmit_failed(now, peer, reason, ctx.fx)
+                    }
+                    Work::Start { cold } => {
+                        slot.press.start(&mut ctx, cold);
+                    }
+                    Work::SetHung(h) => {
+                        let mut sub_fx = Vec::new();
+                        ctx.sub.set_app_receiving(now, !h, &mut sub_fx);
+                        fx_append(ctx.fx, sub_fx);
+                    }
+                }
+            }
+            if let Some((req_id, a)) = accept {
+                match a {
+                    ClientAccept::Accepted => {
+                        let deadline = self.clients.accepted(now, req_id);
+                        self.engine
+                            .schedule_at(deadline, Ev::Client(ClientEvent::Deadline(req_id)));
+                    }
+                    ClientAccept::Dropped => self.clients.connect_failed(),
+                }
+            }
+            self.apply_effects(now, i, fx, app, &mut work);
+        }
+    }
+
+    fn apply_effects(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        fx: Effects<PressMsg>,
+        app: Vec<AppEffect>,
+        work: &mut VecDeque<(usize, Work)>,
+    ) {
+        for e in fx {
+            match e {
+                Effect::Transmit(frame) => match self.fabric.transmit(now, &frame) {
+                    simnet::fabric::TransmitOutcome::Delivered { at } => {
+                        self.engine.schedule_at(at, Ev::Frame(frame));
+                    }
+                    simnet::fabric::TransmitOutcome::Lost { reason } => {
+                        work.push_back((i, Work::TransmitFailed(frame.dst, reason)));
+                    }
+                },
+                Effect::SetTimer { at, key } => {
+                    self.engine.schedule_at(at, Ev::Timer(key));
+                }
+                Effect::ChargeCpu(d) => {
+                    self.nodes[i].cpu.charge(now, d);
+                }
+                Effect::Upcall(u) => {
+                    work.push_back((i, Work::Upcall(u)));
+                }
+            }
+        }
+        for a in app {
+            match a {
+                AppEffect::Schedule { at, ev } => {
+                    let gen = self.nodes[i].gen;
+                    self.engine.schedule_at(at, Ev::App { node: i, gen, ev });
+                }
+                AppEffect::Reply { req_id, at } => {
+                    let gen = self.nodes[i].gen;
+                    self.engine.schedule_at(
+                        at,
+                        Ev::Reply {
+                            node: i,
+                            gen,
+                            req_id,
+                        },
+                    );
+                }
+                AppEffect::ProcessExit { reason: _ } => {
+                    self.kill_process(now, i, Some(self.config.restart_delay));
+                }
+            }
+        }
+        // Log membership changes for stage-marker extraction.
+        let m = self.nodes[i].press.members().len();
+        if m != self.last_members[i] {
+            self.last_members[i] = m;
+            self.membership_log.push((now, NodeId(i), m));
+        }
+    }
+}
+
+fn fx_append(dst: &mut Effects<PressMsg>, src: Effects<PressMsg>) {
+    dst.extend(src);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_small_cluster_serves_requests() {
+        let config = ClusterConfig::small(PressVersion::Via5);
+        let mut sim = ClusterSim::new(config, 1);
+        sim.run_until(SimTime::from_secs(10));
+        let report = sim.report();
+        assert!(report.availability.attempts > 5_000);
+        assert!(
+            report.availability.availability() > 0.999,
+            "availability {} with {} failures",
+            report.availability.availability(),
+            report.availability.failures()
+        );
+        assert!(report.fully_recovered(4));
+        // Throughput tracks the offered (sub-saturation) load.
+        let mean = sim.mean_throughput(2.0, 10.0);
+        assert!((mean - 900.0).abs() < 90.0, "mean throughput {mean}");
+    }
+
+    #[test]
+    fn all_versions_boot_and_serve() {
+        for version in PressVersion::ALL {
+            let config = ClusterConfig::small(version);
+            let mut sim = ClusterSim::new(config, 2);
+            sim.run_until(SimTime::from_secs(5));
+            let report = sim.report();
+            assert!(
+                report.availability.availability() > 0.99,
+                "{version}: availability {}",
+                report.availability.availability()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let run = |seed| {
+            let mut sim = ClusterSim::new(ClusterConfig::small(PressVersion::Tcp), seed);
+            sim.run_until(SimTime::from_secs(5));
+            let r = sim.report();
+            (r.availability.clone(), r.throughput.points)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).1, run(8).1);
+    }
+}

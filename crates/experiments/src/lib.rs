@@ -1,0 +1,22 @@
+//! Composition layer: wires the discrete-event engine, network fabric,
+//! transports, PRESS nodes, clients, and the Mendosus injector into one
+//! runnable cluster, and defines the paper's experiments on top of it.
+//!
+//! * [`cluster`] — [`ClusterSim`]: the live 4-node cluster.
+//! * [`phase1`] — single-fault injection runs: throughput timelines,
+//!   stage markers, and 7-stage extraction (§5).
+//! * [`phase2`] — analytic combination under Table 3 fault loads:
+//!   unavailability, performability, sensitivity scenarios (§6).
+//! * [`figures`] — one entry point per table/figure of the paper.
+//! * [`render`] — plain-text rendering of timelines and bar charts.
+
+pub mod cluster;
+pub mod figures;
+pub mod phase1;
+pub mod phase2;
+pub mod render;
+
+pub use cluster::{ClusterConfig, ClusterReport, ClusterSim};
+
+pub use phase1::{measure_warmup, run_fault_experiment, FaultRunResult, FaultScenario};
+pub use phase2::{behaviors_for_load, evaluate, version_profile, Phase2Result, RunScale, VersionProfile};

@@ -1,0 +1,138 @@
+//! Plain-text rendering of timelines, bars, and tables for the repro
+//! harness output.
+
+use simnet::TimeSeries;
+
+const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a time series as a one-line block sparkline of `width`
+/// columns, scaled to `max` (values above `max` clip).
+pub fn sparkline(series: &TimeSeries, width: usize, max: f64) -> String {
+    if series.is_empty() || width == 0 || max <= 0.0 {
+        return String::new();
+    }
+    let t0 = series.points.first().expect("nonempty").0;
+    let t1 = series.points.last().expect("nonempty").0;
+    let span = (t1 - t0).max(1e-9);
+    let mut sums = vec![0.0f64; width];
+    let mut counts = vec![0u32; width];
+    for &(t, v) in &series.points {
+        let col = (((t - t0) / span) * (width as f64 - 1.0)).round() as usize;
+        sums[col] += v;
+        counts[col] += 1;
+    }
+    (0..width)
+        .map(|c| {
+            if counts[c] == 0 {
+                BLOCKS[0]
+            } else {
+                let v = (sums[c] / f64::from(counts[c])).clamp(0.0, max);
+                let idx = ((v / max) * 8.0).round() as usize;
+                BLOCKS[idx.min(8)]
+            }
+        })
+        .collect()
+}
+
+/// Renders a horizontal bar of `width` columns for `value` out of `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let filled = ((value.clamp(0.0, max) / max) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '█' } else { '·' });
+    }
+    s
+}
+
+/// Renders rows as a fixed-width text table with a header rule.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_reflects_levels() {
+        let s = TimeSeries::new(vec![
+            (0.0, 100.0),
+            (1.0, 100.0),
+            (2.0, 0.0),
+            (3.0, 0.0),
+            (4.0, 100.0),
+            (5.0, 100.0),
+        ]);
+        let line = sparkline(&s, 6, 100.0);
+        assert_eq!(line.chars().count(), 6);
+        let chars: Vec<char> = line.chars().collect();
+        assert_eq!(chars[0], '█');
+        assert_eq!(chars[2], ' ');
+        assert_eq!(chars[5], '█');
+    }
+
+    #[test]
+    fn sparkline_handles_empty_and_degenerate_input() {
+        assert_eq!(sparkline(&TimeSeries::default(), 10, 1.0), "");
+        let s = TimeSeries::new(vec![(0.0, 5.0)]);
+        assert_eq!(sparkline(&s, 0, 1.0), "");
+        assert_eq!(sparkline(&s, 3, 0.0), "");
+    }
+
+    #[test]
+    fn bar_fills_proportionally() {
+        assert_eq!(bar(5.0, 10.0, 10), "█████·····");
+        assert_eq!(bar(20.0, 10.0, 4), "████");
+        assert_eq!(bar(0.0, 10.0, 4), "····");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        table(&["a", "b"], &[vec!["only one".into()]]);
+    }
+}

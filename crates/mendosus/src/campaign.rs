@@ -1,0 +1,201 @@
+//! Fault campaigns: ordered schedules of injections and recoveries.
+//!
+//! Phase 1 of the methodology injects faults "(and the subsequent
+//! recovery) one at a time into a running system" (§2). A [`Campaign`]
+//! turns a set of [`FaultSpec`]s into a time-ordered action list the
+//! composition layer replays against the simulation.
+
+use simnet::SimTime;
+
+use crate::fault::FaultSpec;
+
+/// Whether an action starts or ends a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPhase {
+    /// The fault is injected.
+    Inject,
+    /// The faulty component recovers.
+    Recover,
+}
+
+/// One scheduled action: apply `phase` of `spec` at `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultAction {
+    /// When to act.
+    pub at: SimTime,
+    /// Inject or recover.
+    pub phase: FaultPhase,
+    /// The fault concerned.
+    pub spec: FaultSpec,
+}
+
+/// An ordered set of faults to inject into one experiment run.
+///
+/// # Example
+///
+/// ```
+/// use mendosus::{Campaign, FaultKind, FaultSpec};
+/// use simnet::fabric::NodeId;
+/// use simnet::{SimDuration, SimTime};
+///
+/// let campaign = Campaign::single(FaultSpec::transient(
+///     FaultKind::NodeCrash,
+///     NodeId(3),
+///     SimTime::from_secs(60),
+///     SimDuration::from_secs(90),
+/// ));
+/// let actions = campaign.actions();
+/// assert_eq!(actions.len(), 2); // inject + recover
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Campaign {
+    faults: Vec<FaultSpec>,
+}
+
+impl Campaign {
+    /// An empty campaign (fault-free baseline run).
+    pub fn none() -> Self {
+        Campaign::default()
+    }
+
+    /// A campaign with exactly one fault — the single-fault loads of
+    /// phase 1.
+    pub fn single(spec: FaultSpec) -> Self {
+        Campaign { faults: vec![spec] }
+    }
+
+    /// Builds a campaign from any number of faults.
+    pub fn new<I: IntoIterator<Item = FaultSpec>>(faults: I) -> Self {
+        Campaign {
+            faults: faults.into_iter().collect(),
+        }
+    }
+
+    /// Adds a fault.
+    pub fn push(&mut self, spec: FaultSpec) {
+        self.faults.push(spec);
+    }
+
+    /// The faults in the campaign.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// `true` when the campaign injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The time-ordered list of inject/recover actions. Recoveries of
+    /// earlier faults interleave correctly with later injections.
+    pub fn actions(&self) -> Vec<FaultAction> {
+        let mut actions = Vec::with_capacity(self.faults.len() * 2);
+        for spec in &self.faults {
+            actions.push(FaultAction {
+                at: spec.at,
+                phase: FaultPhase::Inject,
+                spec: spec.clone(),
+            });
+            if let Some(end) = spec.recovery_at() {
+                actions.push(FaultAction {
+                    at: end,
+                    phase: FaultPhase::Recover,
+                    spec: spec.clone(),
+                });
+            }
+        }
+        actions.sort_by_key(|a| (a.at, a.phase == FaultPhase::Recover));
+        actions
+    }
+}
+
+impl FromIterator<FaultSpec> for Campaign {
+    fn from_iter<I: IntoIterator<Item = FaultSpec>>(iter: I) -> Self {
+        Campaign::new(iter)
+    }
+}
+
+impl Extend<FaultSpec> for Campaign {
+    fn extend<I: IntoIterator<Item = FaultSpec>>(&mut self, iter: I) {
+        self.faults.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+    use simnet::fabric::NodeId;
+    use simnet::SimDuration;
+
+    #[test]
+    fn actions_are_time_ordered() {
+        let campaign = Campaign::new([
+            FaultSpec::transient(
+                FaultKind::LinkDown,
+                NodeId(1),
+                SimTime::from_secs(100),
+                SimDuration::from_secs(50),
+            ),
+            FaultSpec::transient(
+                FaultKind::NodeHang,
+                NodeId(2),
+                SimTime::from_secs(10),
+                SimDuration::from_secs(200),
+            ),
+        ]);
+        let acts = campaign.actions();
+        let times: Vec<u64> = acts.iter().map(|a| a.at.as_nanos() / 1_000_000_000).collect();
+        assert_eq!(times, [10, 100, 150, 210]);
+        assert_eq!(acts[0].phase, FaultPhase::Inject);
+        assert_eq!(acts[2].phase, FaultPhase::Recover);
+    }
+
+    #[test]
+    fn permanent_faults_have_no_recovery_action() {
+        let campaign = Campaign::single(FaultSpec::permanent(
+            FaultKind::SwitchDown,
+            NodeId(0),
+            SimTime::from_secs(1),
+        ));
+        assert_eq!(campaign.actions().len(), 1);
+    }
+
+    #[test]
+    fn inject_sorts_before_recover_at_the_same_instant() {
+        let campaign = Campaign::new([
+            FaultSpec::transient(
+                FaultKind::AppHang,
+                NodeId(0),
+                SimTime::from_secs(0),
+                SimDuration::from_secs(10),
+            ),
+            FaultSpec::transient(
+                FaultKind::AppCrash,
+                NodeId(1),
+                SimTime::from_secs(10),
+                SimDuration::from_secs(10),
+            ),
+        ]);
+        let acts = campaign.actions();
+        assert_eq!(acts[1].phase, FaultPhase::Inject);
+        assert_eq!(acts[2].phase, FaultPhase::Recover);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let c: Campaign = (0..3)
+            .map(|i| {
+                FaultSpec::transient(
+                    FaultKind::NodeCrash,
+                    NodeId(i),
+                    SimTime::from_secs(i as u64 * 10),
+                    SimDuration::from_secs(5),
+                )
+            })
+            .collect();
+        assert_eq!(c.faults().len(), 3);
+        assert!(!c.is_empty());
+        assert!(Campaign::none().is_empty());
+    }
+}

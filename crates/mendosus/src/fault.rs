@@ -1,0 +1,299 @@
+//! The fault catalogue (Table 2 of the paper) and fault specifications.
+
+use simnet::fabric::NodeId;
+use simnet::{SimDuration, SimTime};
+use transport::MsgClass;
+
+/// Every fault class the study injects — Table 2 verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A node's link to the switch fails (fail-stop).
+    LinkDown,
+    /// The switch fails (fail-stop): total intra-cluster partition.
+    SwitchDown,
+    /// Hard reboot: the node's NIC and memory contents are lost.
+    NodeCrash,
+    /// The node freezes (and later resumes where it left off).
+    NodeHang,
+    /// Kernel skbuf allocation fails for intra-cluster communication.
+    KernelAllocFail,
+    /// Memory-locking (pinning) requests fail.
+    MemPinFail,
+    /// The application process receives SIGSTOP (later SIGCONT).
+    AppHang,
+    /// The application process is killed (the daemon restarts it).
+    AppCrash,
+    /// A NULL data pointer is passed to a send call.
+    BadParamNull,
+    /// The data pointer passed to a send call is off by N bytes.
+    BadParamOffPtr,
+    /// The size passed to a send call is off by N bytes.
+    BadParamOffSize,
+}
+
+impl FaultKind {
+    /// All catalogue entries, in Table 2 order.
+    pub const ALL: [FaultKind; 11] = [
+        FaultKind::LinkDown,
+        FaultKind::SwitchDown,
+        FaultKind::NodeCrash,
+        FaultKind::NodeHang,
+        FaultKind::KernelAllocFail,
+        FaultKind::MemPinFail,
+        FaultKind::AppHang,
+        FaultKind::AppCrash,
+        FaultKind::BadParamNull,
+        FaultKind::BadParamOffPtr,
+        FaultKind::BadParamOffSize,
+    ];
+
+    /// The fault category column of Table 2.
+    pub fn category(self) -> &'static str {
+        match self {
+            FaultKind::LinkDown | FaultKind::SwitchDown => "Network hardware",
+            FaultKind::NodeCrash | FaultKind::NodeHang => "Node",
+            FaultKind::KernelAllocFail | FaultKind::MemPinFail => "Resource exhaustion",
+            _ => "Application",
+        }
+    }
+
+    /// The fault name used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::LinkDown => "Link fault",
+            FaultKind::SwitchDown => "Switch fault",
+            FaultKind::NodeCrash => "Node crash",
+            FaultKind::NodeHang => "Node hang",
+            FaultKind::KernelAllocFail => "Kernel memory allocation fault",
+            FaultKind::MemPinFail => "Memory locking",
+            FaultKind::AppHang => "Application hang",
+            FaultKind::AppCrash => "Application crash",
+            FaultKind::BadParamNull => "Bad parameters: NULL pointer",
+            FaultKind::BadParamOffPtr => "Bad parameters: off-by-N data pointer",
+            FaultKind::BadParamOffSize => "Bad parameters: off-by-N size",
+        }
+    }
+
+    /// Example error sources, from Table 2.
+    pub fn example_sources(self) -> &'static str {
+        match self {
+            FaultKind::LinkDown => "faulty cable, accidental unplugging, mis-configuration",
+            FaultKind::SwitchDown => "power failure, software bug, mis-configuration",
+            FaultKind::NodeCrash => "operator error, OS bug, hardware fault, power failure",
+            FaultKind::NodeHang => "OS bug, OS recovering after killing faulty process",
+            FaultKind::KernelAllocFail => {
+                "system low on (kernel) memory / out of virtual address space"
+            }
+            FaultKind::MemPinFail => "out of pinnable physical memory",
+            FaultKind::AppHang => "application bugs, paging effects",
+            FaultKind::AppCrash => "application bugs, operator mis-termination",
+            FaultKind::BadParamNull | FaultKind::BadParamOffPtr | FaultKind::BadParamOffSize => {
+                "uninitialized pointers, logical error, pointer corruption, stale memory handle (RDMA)"
+            }
+        }
+    }
+
+    /// How the injector realizes the fault in the simulated cluster.
+    pub fn mechanism(self) -> &'static str {
+        match self {
+            FaultKind::LinkDown => "fabric: mark the target node's link down",
+            FaultKind::SwitchDown => "fabric: mark the switch down",
+            FaultKind::NodeCrash => "fabric + process: NIC dead, process and memory lost, reboot on recovery",
+            FaultKind::NodeHang => "freeze the whole node; resume in place on recovery",
+            FaultKind::KernelAllocFail => "transport: skbuf allocation calls return errors",
+            FaultKind::MemPinFail => "transport: memory-locking threshold drops to the current usage",
+            FaultKind::AppHang => "daemon sends SIGSTOP; SIGCONT on recovery",
+            FaultKind::AppCrash => "daemon kills the process; restart on recovery",
+            FaultKind::BadParamNull | FaultKind::BadParamOffPtr | FaultKind::BadParamOffSize => {
+                "interposition layer corrupts the next matching send call"
+            }
+        }
+    }
+
+    /// Whether the fault is a one-shot event (bad parameters) rather
+    /// than a condition with a duration.
+    pub fn is_one_shot(self) -> bool {
+        matches!(
+            self,
+            FaultKind::BadParamNull | FaultKind::BadParamOffPtr | FaultKind::BadParamOffSize
+        )
+    }
+
+    /// Whether the fault targets a specific node (everything except the
+    /// switch fault).
+    pub fn targets_node(self) -> bool {
+        self != FaultKind::SwitchDown
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fault to inject: what, where, when, and for how long.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The fault class.
+    pub kind: FaultKind,
+    /// The target node (ignored for [`FaultKind::SwitchDown`]).
+    pub node: NodeId,
+    /// Injection time.
+    pub at: SimTime,
+    /// Duration for transient faults; `None` means permanent (no
+    /// recovery within the run).
+    pub duration: Option<SimDuration>,
+    /// For bad-parameter faults: the call class to corrupt.
+    pub class: MsgClass,
+    /// For off-by-N faults: the offset N in bytes (paper: 0..=100).
+    pub off_n: u32,
+}
+
+impl FaultSpec {
+    /// A transient fault of `kind` on `node`, active `[at, at+duration)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a one-shot bad-parameter fault — use
+    /// [`FaultSpec::bad_param`] for those.
+    pub fn transient(kind: FaultKind, node: NodeId, at: SimTime, duration: SimDuration) -> Self {
+        assert!(
+            !kind.is_one_shot(),
+            "{kind} is a one-shot fault; use FaultSpec::bad_param"
+        );
+        FaultSpec {
+            kind,
+            node,
+            at,
+            duration: Some(duration),
+            class: MsgClass::FileData,
+            off_n: 0,
+        }
+    }
+
+    /// A permanent fault of `kind` on `node` starting at `at`.
+    pub fn permanent(kind: FaultKind, node: NodeId, at: SimTime) -> Self {
+        assert!(!kind.is_one_shot(), "{kind} is a one-shot fault");
+        FaultSpec {
+            kind,
+            node,
+            at,
+            duration: None,
+            class: MsgClass::FileData,
+            off_n: 0,
+        }
+    }
+
+    /// A one-shot bad-parameter fault corrupting the next `class` send
+    /// on `node` at or after `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a bad-parameter fault, or if `off_n`
+    /// exceeds 100 (the observed dominant range per §4.3).
+    pub fn bad_param(kind: FaultKind, node: NodeId, at: SimTime, class: MsgClass, off_n: u32) -> Self {
+        assert!(kind.is_one_shot(), "{kind} is not a bad-parameter fault");
+        assert!(off_n <= 100, "off-by-N offsets are 0..=100 bytes");
+        FaultSpec {
+            kind,
+            node,
+            at,
+            duration: None,
+            class,
+            off_n,
+        }
+    }
+
+    /// When the faulty component recovers, if the fault is transient.
+    pub fn recovery_at(&self) -> Option<SimTime> {
+        self.duration.map(|d| self.at + d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_matches_table_2() {
+        assert_eq!(FaultKind::ALL.len(), 11);
+        let categories: Vec<&str> = FaultKind::ALL.iter().map(|k| k.category()).collect();
+        assert_eq!(categories.iter().filter(|c| **c == "Network hardware").count(), 2);
+        assert_eq!(categories.iter().filter(|c| **c == "Node").count(), 2);
+        assert_eq!(
+            categories.iter().filter(|c| **c == "Resource exhaustion").count(),
+            2
+        );
+        assert_eq!(categories.iter().filter(|c| **c == "Application").count(), 5);
+    }
+
+    #[test]
+    fn every_kind_has_prose() {
+        for k in FaultKind::ALL {
+            assert!(!k.name().is_empty());
+            assert!(!k.example_sources().is_empty());
+            assert!(!k.mechanism().is_empty());
+            assert_eq!(k.to_string(), k.name());
+        }
+    }
+
+    #[test]
+    fn transient_fault_has_a_recovery_time() {
+        let f = FaultSpec::transient(
+            FaultKind::LinkDown,
+            NodeId(2),
+            SimTime::from_secs(30),
+            SimDuration::from_secs(90),
+        );
+        assert_eq!(f.recovery_at(), Some(SimTime::from_secs(120)));
+    }
+
+    #[test]
+    fn permanent_fault_never_recovers() {
+        let f = FaultSpec::permanent(FaultKind::SwitchDown, NodeId(0), SimTime::from_secs(5));
+        assert_eq!(f.recovery_at(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bad-parameter fault")]
+    fn bad_param_rejects_condition_faults() {
+        FaultSpec::bad_param(
+            FaultKind::LinkDown,
+            NodeId(0),
+            SimTime::ZERO,
+            MsgClass::FileData,
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one-shot")]
+    fn transient_rejects_one_shot_faults() {
+        FaultSpec::transient(
+            FaultKind::BadParamNull,
+            NodeId(0),
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=100")]
+    fn off_n_range_is_validated() {
+        FaultSpec::bad_param(
+            FaultKind::BadParamOffPtr,
+            NodeId(0),
+            SimTime::ZERO,
+            MsgClass::FileData,
+            101,
+        );
+    }
+
+    #[test]
+    fn only_switch_fault_is_nodeless() {
+        for k in FaultKind::ALL {
+            assert_eq!(k.targets_node(), k != FaultKind::SwitchDown);
+        }
+    }
+}

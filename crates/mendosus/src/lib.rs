@@ -1,0 +1,30 @@
+//! Software fault injection modeled on **Mendosus**, the SAN-based
+//! fault-injection test-bed the paper uses (§4).
+//!
+//! The crate provides:
+//!
+//! * [`FaultKind`] — the fault catalogue of Table 2: network hardware
+//!   (link, switch), node (crash, hang), resource exhaustion (kernel
+//!   memory allocation, memory locking) and application faults (hang,
+//!   crash, bad parameters).
+//! * [`FaultSpec`] / [`Campaign`] — a schedule of faults to inject into
+//!   a running simulation, each transient (with a duration) or
+//!   permanent.
+//! * [`Mangler`] — the call-interposition layer for bad-parameter
+//!   faults: it sits between PRESS and the communication library and
+//!   corrupts one `send`/`VipPostSend` call (NULL pointer, off-by-N data
+//!   pointer, off-by-N size with N ∈ [0, 100], per the field study the
+//!   paper cites in §4.3).
+//!
+//! Mendosus itself only *schedules and describes* faults; the
+//! composition layer (the `experiments` crate) applies each
+//! [`FaultAction`] to the fabric, transports, and server processes, just
+//! as the real Mendosus drives kernel modules and user-level daemons.
+
+pub mod campaign;
+pub mod fault;
+pub mod interpose;
+
+pub use campaign::{Campaign, FaultAction, FaultPhase};
+pub use fault::{FaultKind, FaultSpec};
+pub use interpose::{BadParam, Mangler, PlannedMangle};

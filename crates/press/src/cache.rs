@@ -1,0 +1,272 @@
+//! Cooperative caching: the per-node LRU file cache and the
+//! cluster-wide caching directory each node maintains from broadcasts.
+
+use std::collections::{BTreeMap, HashMap};
+
+use simnet::fabric::NodeId;
+
+use crate::msg::FileId;
+
+/// A least-recently-used cache of equally sized files.
+///
+/// Capacity is expressed in entries (the trace normalizes all files to
+/// the same size, §5.1).
+///
+/// # Example
+///
+/// ```
+/// use press::cache::LruCache;
+///
+/// let mut cache = LruCache::new(2);
+/// assert_eq!(cache.insert(1), None);
+/// assert_eq!(cache.insert(2), None);
+/// cache.touch(1); // 1 is now most recent
+/// assert_eq!(cache.insert(3), Some(2)); // 2 was least recent
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    tick: u64,
+    by_file: HashMap<FileId, u64>,
+    by_age: BTreeMap<u64, FileId>,
+}
+
+impl LruCache {
+    /// A cache holding up to `capacity` files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            tick: 0,
+            by_file: HashMap::new(),
+            by_age: BTreeMap::new(),
+        }
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entries.
+    pub fn len(&self) -> usize {
+        self.by_file.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.by_file.is_empty()
+    }
+
+    /// Whether `file` is cached (does not refresh recency).
+    pub fn contains(&self, file: FileId) -> bool {
+        self.by_file.contains_key(&file)
+    }
+
+    /// Marks `file` most recently used. Returns `false` if absent.
+    pub fn touch(&mut self, file: FileId) -> bool {
+        let Some(age) = self.by_file.get(&file).copied() else {
+            return false;
+        };
+        self.by_age.remove(&age);
+        self.tick += 1;
+        self.by_age.insert(self.tick, file);
+        self.by_file.insert(file, self.tick);
+        true
+    }
+
+    /// Inserts `file` as most recently used, returning the evicted file
+    /// if the cache was full. Re-inserting refreshes recency and evicts
+    /// nothing.
+    pub fn insert(&mut self, file: FileId) -> Option<FileId> {
+        if self.touch(file) {
+            return None;
+        }
+        let evicted = if self.by_file.len() >= self.capacity {
+            let (_, victim) = self.by_age.pop_first().expect("cache is full, so nonempty");
+            self.by_file.remove(&victim);
+            Some(victim)
+        } else {
+            None
+        };
+        self.tick += 1;
+        self.by_age.insert(self.tick, file);
+        self.by_file.insert(file, self.tick);
+        evicted
+    }
+
+    /// Removes `file`; returns whether it was present.
+    pub fn remove(&mut self, file: FileId) -> bool {
+        match self.by_file.remove(&file) {
+            Some(age) => {
+                self.by_age.remove(&age);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes and returns the least recently used file.
+    pub fn pop_lru(&mut self) -> Option<FileId> {
+        let (_, victim) = self.by_age.pop_first()?;
+        self.by_file.remove(&victim);
+        Some(victim)
+    }
+
+    /// All cached files (unspecified order).
+    pub fn files(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.by_age.values().copied()
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.by_file.clear();
+        self.by_age.clear();
+    }
+}
+
+/// A node's view of who caches what, maintained from `CacheAdd` /
+/// `CacheEvict` broadcasts.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    holders: Vec<Vec<NodeId>>,
+}
+
+impl Directory {
+    /// An empty directory over `files` file ids.
+    pub fn new(files: u32) -> Self {
+        Directory {
+            holders: vec![Vec::new(); files as usize],
+        }
+    }
+
+    /// Records that `node` caches `file`.
+    pub fn add(&mut self, file: FileId, node: NodeId) {
+        let h = &mut self.holders[file as usize];
+        if !h.contains(&node) {
+            h.push(node);
+        }
+    }
+
+    /// Records that `node` no longer caches `file`.
+    pub fn remove(&mut self, file: FileId, node: NodeId) {
+        self.holders[file as usize].retain(|n| *n != node);
+    }
+
+    /// Nodes believed to cache `file`.
+    pub fn holders(&self, file: FileId) -> &[NodeId] {
+        &self.holders[file as usize]
+    }
+
+    /// Forgets everything a departed node cached.
+    pub fn drop_node(&mut self, node: NodeId) {
+        for h in &mut self.holders {
+            h.retain(|n| *n != node);
+        }
+    }
+
+    /// Total (file, holder) entries — diagnostics.
+    pub fn entries(&self) -> usize {
+        self.holders.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruCache::new(3);
+        for f in [1, 2, 3] {
+            assert_eq!(c.insert(f), None);
+        }
+        assert_eq!(c.insert(4), Some(1));
+        assert!(c.contains(4) && !c.contains(1));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn touch_changes_eviction_order() {
+        let mut c = LruCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert!(c.touch(1));
+        assert_eq!(c.insert(3), Some(2));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert_eq!(c.insert(1), None);
+        assert_eq!(c.insert(3), Some(2));
+    }
+
+    #[test]
+    fn remove_and_pop_lru() {
+        let mut c = LruCache::new(3);
+        c.insert(1);
+        c.insert(2);
+        c.insert(3);
+        assert!(c.remove(2));
+        assert!(!c.remove(2));
+        assert_eq!(c.pop_lru(), Some(1));
+        assert_eq!(c.pop_lru(), Some(3));
+        assert_eq!(c.pop_lru(), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn touch_on_absent_is_false() {
+        let mut c = LruCache::new(2);
+        assert!(!c.touch(7));
+    }
+
+    #[test]
+    fn files_iterates_in_lru_order() {
+        let mut c = LruCache::new(3);
+        c.insert(1);
+        c.insert(2);
+        c.insert(3);
+        c.touch(1);
+        let order: Vec<FileId> = c.files().collect();
+        assert_eq!(order, [2, 3, 1]);
+    }
+
+    #[test]
+    fn directory_tracks_holders() {
+        let mut d = Directory::new(10);
+        d.add(5, NodeId(0));
+        d.add(5, NodeId(2));
+        d.add(5, NodeId(0)); // duplicate ignored
+        assert_eq!(d.holders(5), &[NodeId(0), NodeId(2)]);
+        d.remove(5, NodeId(0));
+        assert_eq!(d.holders(5), &[NodeId(2)]);
+        assert_eq!(d.entries(), 1);
+    }
+
+    #[test]
+    fn directory_drop_node_clears_all_entries() {
+        let mut d = Directory::new(4);
+        for f in 0..4 {
+            d.add(f, NodeId(1));
+            d.add(f, NodeId(3));
+        }
+        d.drop_node(NodeId(3));
+        for f in 0..4 {
+            assert_eq!(d.holders(f), &[NodeId(1)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_cache_is_rejected() {
+        LruCache::new(0);
+    }
+}

@@ -1,0 +1,148 @@
+//! PRESS configuration: document set, caches, per-request CPU costs,
+//! disks, heartbeats and recovery behaviour.
+
+use simnet::SimDuration;
+
+/// Static server parameters. [`PressConfig::paper_testbed`] reproduces
+/// the paper's setup (§5.1): 4 nodes, 128 MB file cache per node, two
+/// SCSI disks, normalized file sizes, 5 s heartbeats with a 15 s (3
+/// beat) detection threshold.
+///
+/// The four `*_cost` constants are the calibrated per-request HTTP work
+/// (identical across all five versions); their sum (≈541 µs) plus the
+/// substrate costs reproduces Table 1 — see `transport::cost` for the
+/// derivation.
+#[derive(Debug, Clone)]
+pub struct PressConfig {
+    /// Number of cluster nodes.
+    pub nodes: usize,
+    /// Distinct files in the (static, fully replicated on disk)
+    /// document set.
+    pub files: u32,
+    /// Every file's size after the trace normalization (§5.1).
+    pub file_bytes: u32,
+    /// Per-node file-cache capacity in bytes (128 MB in the paper).
+    pub cache_bytes: u64,
+    /// CPU to accept and parse one client request.
+    pub accept_parse_cost: SimDuration,
+    /// CPU to make the routing decision.
+    pub route_cost: SimDuration,
+    /// CPU to read a cached file.
+    pub cache_read_cost: SimDuration,
+    /// CPU to send the response to the client (client-network path).
+    pub client_reply_cost: SimDuration,
+    /// Disk service time per read.
+    pub disk_service: SimDuration,
+    /// Disks per node (requests load-balance across them).
+    pub disks_per_node: usize,
+    /// Refuse new client connections when the CPU backlog exceeds this
+    /// (listen-queue overflow under overload).
+    pub admission_backlog: SimDuration,
+    /// Maximum deferred work items while the main thread is blocked on a
+    /// send; beyond this, arrivals are dropped (accept-queue overflow).
+    pub deferred_cap: usize,
+    /// Heartbeat period (TCP-PRESS-HB).
+    pub hb_interval: SimDuration,
+    /// Declare the ring predecessor dead after this many missed beats.
+    pub hb_misses: u32,
+    /// Delay between rejoin attempts after a restart.
+    pub rejoin_retry: SimDuration,
+    /// Rejoin attempts before giving up and serving standalone.
+    pub rejoin_attempts: u32,
+    /// Enables the membership-repair extension the paper's §6.2 calls
+    /// for ("a rigorous membership algorithm"): nodes periodically probe
+    /// excluded peers and re-merge splintered sub-clusters without
+    /// operator intervention. Off in the paper's PRESS.
+    pub membership_repair: bool,
+    /// Probe period for the membership-repair extension.
+    pub repair_probe_interval: SimDuration,
+}
+
+impl PressConfig {
+    /// The paper's 4-node test-bed.
+    pub fn paper_testbed() -> Self {
+        PressConfig {
+            nodes: 4,
+            files: 60_000,
+            file_bytes: 8_192,
+            cache_bytes: 128 << 20,
+            accept_parse_cost: SimDuration::from_micros(160),
+            route_cost: SimDuration::from_micros(12),
+            cache_read_cost: SimDuration::from_micros(18),
+            client_reply_cost: SimDuration::from_micros(344),
+            disk_service: SimDuration::from_millis(9),
+            disks_per_node: 2,
+            admission_backlog: SimDuration::from_millis(1500),
+            deferred_cap: 2_000,
+            hb_interval: SimDuration::from_secs(5),
+            hb_misses: 3,
+            rejoin_retry: SimDuration::from_secs(2),
+            rejoin_attempts: 3,
+            membership_repair: false,
+            repair_probe_interval: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Files that fit in one node's cache.
+    pub fn cache_entries(&self) -> usize {
+        (self.cache_bytes / u64::from(self.file_bytes)) as usize
+    }
+
+    /// 4 KB pages needed to pin one file (VIA-PRESS-5 zero-copy).
+    pub fn pages_per_file(&self) -> u32 {
+        self.file_bytes.div_ceil(4096)
+    }
+
+    /// The calibrated per-request base cost (all four components).
+    pub fn base_request_cost(&self) -> SimDuration {
+        self.accept_parse_cost + self.route_cost + self.cache_read_cost + self.client_reply_cost
+    }
+
+    /// Heartbeat-loss detection threshold (`hb_misses × hb_interval` —
+    /// 15 s in the paper).
+    pub fn hb_detect_threshold(&self) -> SimDuration {
+        self.hb_interval * u64::from(self.hb_misses)
+    }
+}
+
+impl Default for PressConfig {
+    fn default() -> Self {
+        PressConfig::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_matches_section_5_1() {
+        let c = PressConfig::paper_testbed();
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.cache_bytes, 128 << 20);
+        assert_eq!(c.cache_entries(), 16_384);
+        assert_eq!(c.hb_detect_threshold(), SimDuration::from_secs(15));
+        // The aggregate cache must cover the working set so steady-state
+        // operation is disk-free, but one node's cache must not — that
+        // asymmetry drives the degraded stages.
+        assert!(c.cache_entries() * c.nodes >= c.files as usize);
+        assert!(c.cache_entries() < c.files as usize);
+    }
+
+    #[test]
+    fn base_cost_matches_calibration() {
+        let c = PressConfig::paper_testbed();
+        let us = c.base_request_cost().as_nanos() as f64 / 1000.0;
+        assert!((530.0..555.0).contains(&us), "base cost = {us}us");
+    }
+
+    #[test]
+    fn pages_per_file_rounds_up() {
+        let mut c = PressConfig::paper_testbed();
+        assert_eq!(c.pages_per_file(), 2);
+        c.file_bytes = 4097;
+        assert_eq!(c.pages_per_file(), 2);
+        c.file_bytes = 4096;
+        assert_eq!(c.pages_per_file(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! The five PRESS versions of Table 1.
+
+use transport::{CostModel, ViaMode};
+
+/// Which PRESS build is running — Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PressVersion {
+    /// TCP intra-cluster communication; connection breaks trigger
+    /// reconfiguration.
+    Tcp,
+    /// TCP plus a heartbeat ring for failure detection.
+    TcpHb,
+    /// VIA with regular user-level messages.
+    Via0,
+    /// VIA with remote memory writes and polling in all messages.
+    Via3,
+    /// VIA-PRESS-3 plus zero-copy file transfers (pinned file cache).
+    Via5,
+}
+
+impl PressVersion {
+    /// All versions in Table 1 order.
+    pub const ALL: [PressVersion; 5] = [
+        PressVersion::Tcp,
+        PressVersion::TcpHb,
+        PressVersion::Via0,
+        PressVersion::Via3,
+        PressVersion::Via5,
+    ];
+
+    /// The paper's name for the version.
+    pub fn name(self) -> &'static str {
+        match self {
+            PressVersion::Tcp => "TCP-PRESS",
+            PressVersion::TcpHb => "TCP-PRESS-HB",
+            PressVersion::Via0 => "VIA-PRESS-0",
+            PressVersion::Via3 => "VIA-PRESS-3",
+            PressVersion::Via5 => "VIA-PRESS-5",
+        }
+    }
+
+    /// Whether the version runs on VIA (vs. TCP).
+    pub fn uses_via(self) -> bool {
+        !matches!(self, PressVersion::Tcp | PressVersion::TcpHb)
+    }
+
+    /// Whether the version runs the heartbeat failure detector.
+    pub fn heartbeats(self) -> bool {
+        self == PressVersion::TcpHb
+    }
+
+    /// Whether intra-cluster messages use remote memory writes.
+    pub fn remote_writes(self) -> bool {
+        matches!(self, PressVersion::Via3 | PressVersion::Via5)
+    }
+
+    /// Whether file transfers are zero-copy (requires dynamic pinning of
+    /// the file cache).
+    pub fn zero_copy(self) -> bool {
+        self == PressVersion::Via5
+    }
+
+    /// The VIA mode for VIA versions.
+    pub fn via_mode(self) -> Option<ViaMode> {
+        match self {
+            PressVersion::Tcp | PressVersion::TcpHb => None,
+            PressVersion::Via0 => Some(ViaMode::Messaging),
+            PressVersion::Via3 | PressVersion::Via5 => Some(ViaMode::RemoteWrite),
+        }
+    }
+
+    /// The calibrated cost model for the version's substrate.
+    pub fn cost_model(self) -> CostModel {
+        match self {
+            PressVersion::Tcp | PressVersion::TcpHb => CostModel::tcp(),
+            PressVersion::Via0 => CostModel::via0(),
+            PressVersion::Via3 => CostModel::via3(),
+            PressVersion::Via5 => CostModel::via5(),
+        }
+    }
+
+    /// Near-peak throughput the paper measured on its 4-node test-bed
+    /// (Table 1), in requests per second — the reference our calibration
+    /// targets.
+    pub fn paper_throughput(self) -> f64 {
+        match self {
+            PressVersion::Tcp => 4965.0,
+            PressVersion::TcpHb => 4965.0,
+            PressVersion::Via0 => 6031.0,
+            PressVersion::Via3 => 6221.0,
+            PressVersion::Via5 => 7058.0,
+        }
+    }
+
+    /// Table 1's "main features" column.
+    pub fn main_features(self) -> &'static str {
+        match self {
+            PressVersion::Tcp => {
+                "TCP used for intra-cluster communication; connection breaks trigger reconfiguration"
+            }
+            PressVersion::TcpHb => {
+                "TCP used for intra-cluster communication; loss of heartbeat messages triggers reconfiguration"
+            }
+            PressVersion::Via0 => {
+                "VIA used for intra-cluster communication; connection breaks trigger reconfiguration"
+            }
+            PressVersion::Via3 => {
+                "VIA with remote memory writes in all messages; connection breaks trigger reconfiguration"
+            }
+            PressVersion::Via5 => {
+                "VIA with remote memory writes and zero-copy data transfers; connection breaks trigger reconfiguration"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PressVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix_matches_table_1() {
+        use PressVersion::*;
+        assert!(!Tcp.uses_via() && !TcpHb.uses_via());
+        assert!(Via0.uses_via() && Via3.uses_via() && Via5.uses_via());
+        assert!(TcpHb.heartbeats());
+        assert!(PressVersion::ALL.iter().filter(|v| v.heartbeats()).count() == 1);
+        assert!(!Via0.remote_writes() && Via3.remote_writes() && Via5.remote_writes());
+        assert!(Via5.zero_copy() && !Via3.zero_copy());
+    }
+
+    #[test]
+    fn paper_throughputs_are_ordered() {
+        use PressVersion::*;
+        assert_eq!(Tcp.paper_throughput(), TcpHb.paper_throughput());
+        assert!(Via0.paper_throughput() > Tcp.paper_throughput());
+        assert!(Via3.paper_throughput() > Via0.paper_throughput());
+        assert!(Via5.paper_throughput() > Via3.paper_throughput());
+    }
+
+    #[test]
+    fn via_modes_match_versions() {
+        assert_eq!(PressVersion::Tcp.via_mode(), None);
+        assert_eq!(PressVersion::Via0.via_mode(), Some(ViaMode::Messaging));
+        assert_eq!(PressVersion::Via5.via_mode(), Some(ViaMode::RemoteWrite));
+    }
+
+    #[test]
+    fn zero_copy_implies_zero_copy_cost_model() {
+        for v in PressVersion::ALL {
+            assert_eq!(v.cost_model().zero_copy_bulk, v.zero_copy());
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] is a priority queue of `(time, event)` pairs. Events
+//! scheduled for the same instant are delivered in the order they were
+//! scheduled (FIFO), which keeps simulations deterministic without
+//! requiring the event type to be ordered.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A deterministic discrete-event queue over events of type `E`.
+///
+/// The engine tracks the current simulated time: popping an event advances
+/// the clock to that event's timestamp. Scheduling an event in the past is
+/// a programming error and panics.
+///
+/// # Example
+///
+/// ```
+/// use simnet::{Engine, SimDuration};
+///
+/// let mut engine = Engine::new();
+/// engine.schedule_in(SimDuration::from_secs(1), 42u32);
+/// engine.schedule_in(SimDuration::from_secs(1), 43u32);
+///
+/// // Same timestamp: FIFO order.
+/// assert_eq!(engine.pop().unwrap().1, 42);
+/// assert_eq!(engine.pop().unwrap().1, 43);
+/// assert!(engine.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<E>>,
+    dispatched: u64,
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Reverse ordering so the BinaryHeap (a max-heap) pops the earliest event;
+// ties broken by ascending sequence number for FIFO delivery.
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Engine<E> {
+    /// Creates an empty engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of events queued but not yet delivered.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total events delivered so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} before current time {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` after a delay relative to the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Removes and returns the next event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now);
+        self.now = s.at;
+        self.dispatched += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Like [`Engine::pop`], but leaves events after `deadline` queued and
+    /// instead advances the clock to `deadline` and returns `None`.
+    ///
+    /// This is the main driver loop primitive:
+    ///
+    /// ```
+    /// use simnet::{Engine, SimDuration, SimTime};
+    ///
+    /// let mut engine = Engine::new();
+    /// engine.schedule_in(SimDuration::from_secs(5), ());
+    /// let deadline = SimTime::from_secs(2);
+    /// while let Some((_t, _ev)) = engine.pop_before(deadline) {
+    ///     // handle event
+    /// }
+    /// assert_eq!(engine.now(), deadline);
+    /// assert_eq!(engine.pending(), 1);
+    /// ```
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => {
+                if self.now < deadline {
+                    self.now = deadline;
+                }
+                None
+            }
+        }
+    }
+
+    /// Discards all queued events without delivering them.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(3), "c");
+        e.schedule_at(SimTime::from_secs(1), "a");
+        e.schedule_at(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut e = Engine::new();
+        for i in 0..100 {
+            e.schedule_at(SimTime::from_secs(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(9), ());
+        assert_eq!(e.now(), SimTime::ZERO);
+        e.pop();
+        assert_eq!(e.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(5), ());
+        e.pop();
+        e.schedule_at(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline_and_advances_clock() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.schedule_at(SimTime::from_secs(10), 2);
+        let deadline = SimTime::from_secs(5);
+        let mut seen = vec![];
+        while let Some((_, ev)) = e.pop_before(deadline) {
+            seen.push(ev);
+        }
+        assert_eq!(seen, [1]);
+        assert_eq!(e.now(), deadline);
+        assert_eq!(e.pending(), 1);
+        // The remaining event is still deliverable later.
+        assert_eq!(e.pop_before(SimTime::from_secs(20)).unwrap().1, 2);
+    }
+
+    #[test]
+    fn dispatched_counts_deliveries() {
+        let mut e = Engine::new();
+        e.schedule_in(SimDuration::from_secs(1), ());
+        e.schedule_in(SimDuration::from_secs(2), ());
+        e.pop();
+        assert_eq!(e.dispatched(), 1);
+        e.pop();
+        assert_eq!(e.dispatched(), 2);
+    }
+}

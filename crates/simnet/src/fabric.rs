@@ -1,0 +1,480 @@
+//! Intra-cluster network fabric model.
+//!
+//! The paper's test-bed is four nodes on a 1 Gb/s Giganet cLAN: one NIC
+//! per node, one link per NIC, and a single switch. [`Fabric`] models that
+//! topology with per-endpoint serialization (bandwidth), per-hop latency,
+//! bounded queueing, and fail-stop faults on links, the switch, and nodes.
+//!
+//! The fabric is *mechanism only*: it reports why a frame was lost
+//! ([`LossReason`]) and leaves the reaction to the transport. TCP treats
+//! every loss as silent (retransmit later); VIA's fail-stop model treats
+//! losses as connection-fatal. This split is the heart of the paper's
+//! "match the fault model of the fabric" argument.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a cluster node (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A frame handed to the fabric for transmission.
+///
+/// The fabric only inspects the header fields; `payload` rides along for
+/// the caller to deliver to the destination transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame<P> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Wire size in bytes (payload plus protocol headers).
+    pub bytes: u32,
+    /// Opaque transport payload.
+    pub payload: P,
+}
+
+/// Why a frame did not arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LossReason {
+    /// The sender's own link is down — observable by the sending NIC.
+    SrcLinkDown,
+    /// The destination's link is down.
+    DstLinkDown,
+    /// The switch is down.
+    SwitchDown,
+    /// The destination node is crashed (NIC unpowered).
+    DstNodeDown,
+    /// The sending node is crashed; nothing leaves a dead NIC.
+    SrcNodeDown,
+    /// Sender-side queue exceeded its backlog bound.
+    TxQueueOverrun,
+    /// Receiver-side queue exceeded its backlog bound.
+    RxQueueOverrun,
+    /// Dropped by explicit fault injection (transient packet loss).
+    Injected,
+}
+
+impl LossReason {
+    /// Whether the *sending NIC* can observe this loss synchronously.
+    ///
+    /// A SAN with hop-by-hop flow control reports local link failures and
+    /// backpressure at the source; remote conditions are only visible
+    /// end-to-end.
+    pub fn sender_observable(self) -> bool {
+        matches!(
+            self,
+            LossReason::SrcLinkDown | LossReason::SrcNodeDown | LossReason::TxQueueOverrun
+        )
+    }
+}
+
+/// Result of handing one frame to [`Fabric::transmit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmitOutcome {
+    /// The frame will arrive at the destination NIC at `at`.
+    Delivered {
+        /// Arrival time at the destination.
+        at: SimTime,
+    },
+    /// The frame was lost.
+    Lost {
+        /// Why it was lost.
+        reason: LossReason,
+    },
+}
+
+impl TransmitOutcome {
+    /// The arrival time if delivered.
+    pub fn delivery_time(self) -> Option<SimTime> {
+        match self {
+            TransmitOutcome::Delivered { at } => Some(at),
+            TransmitOutcome::Lost { .. } => None,
+        }
+    }
+}
+
+/// Static fabric parameters.
+///
+/// Defaults approximate the paper's 1 Gb/s cLAN: ~5 µs per link hop plus
+/// a ~1 µs switch, 125 MB/s of bandwidth per endpoint, and a few
+/// milliseconds of NIC queueing.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of nodes attached to the switch.
+    pub nodes: usize,
+    /// One-way propagation + NIC processing latency per link hop.
+    pub link_latency: SimDuration,
+    /// Switch forwarding latency.
+    pub switch_latency: SimDuration,
+    /// Per-endpoint bandwidth in bytes per second.
+    pub bandwidth: u64,
+    /// Maximum sender-side backlog (time depth) before frames drop.
+    pub max_tx_backlog: SimDuration,
+    /// Maximum receiver-side backlog (time depth) before frames drop.
+    pub max_rx_backlog: SimDuration,
+}
+
+impl FabricConfig {
+    /// Configuration matching the paper's 4-node cLAN test-bed.
+    pub fn clan_four_nodes() -> Self {
+        FabricConfig {
+            nodes: 4,
+            link_latency: SimDuration::from_micros(5),
+            switch_latency: SimDuration::from_micros(1),
+            bandwidth: 125_000_000, // 1 Gb/s
+            max_tx_backlog: SimDuration::from_millis(20),
+            max_rx_backlog: SimDuration::from_millis(20),
+        }
+    }
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig::clan_four_nodes()
+    }
+}
+
+/// Counters describing fabric activity, for assertions and reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Frames delivered.
+    pub delivered: u64,
+    /// Frames lost for any reason.
+    pub lost: u64,
+    /// Bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+/// The switched cluster network.
+///
+/// # Example
+///
+/// ```
+/// use simnet::fabric::{Fabric, FabricConfig, Frame, NodeId, TransmitOutcome};
+/// use simnet::SimTime;
+///
+/// let mut fabric = Fabric::new(FabricConfig::clan_four_nodes());
+/// let frame = Frame { src: NodeId(0), dst: NodeId(1), bytes: 1024, payload: () };
+/// match fabric.transmit(SimTime::ZERO, &frame) {
+///     TransmitOutcome::Delivered { at } => assert!(at > SimTime::ZERO),
+///     TransmitOutcome::Lost { reason } => panic!("healthy fabric lost a frame: {reason:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    config: FabricConfig,
+    link_up: Vec<bool>,
+    node_up: Vec<bool>,
+    switch_up: bool,
+    tx_busy: Vec<SimTime>,
+    rx_busy: Vec<SimTime>,
+    /// Number of upcoming frames to drop per (src) — fault injection.
+    drop_next_from: Vec<u32>,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Creates a healthy fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero nodes or zero bandwidth.
+    pub fn new(config: FabricConfig) -> Self {
+        assert!(config.nodes > 0, "fabric needs at least one node");
+        assert!(config.bandwidth > 0, "bandwidth must be positive");
+        let n = config.nodes;
+        Fabric {
+            config,
+            link_up: vec![true; n],
+            node_up: vec![true; n],
+            switch_up: true,
+            tx_busy: vec![SimTime::ZERO; n],
+            rx_busy: vec![SimTime::ZERO; n],
+            drop_next_from: vec![0; n],
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Sets the state of `node`'s link (fault injection).
+    pub fn set_link_up(&mut self, node: NodeId, up: bool) {
+        self.link_up[node.0] = up;
+    }
+
+    /// Sets the switch state (fault injection).
+    pub fn set_switch_up(&mut self, up: bool) {
+        self.switch_up = up;
+    }
+
+    /// Marks a node as crashed (NIC dead) or alive.
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        self.node_up[node.0] = up;
+    }
+
+    /// Whether `node`'s link is currently up.
+    pub fn link_up(&self, node: NodeId) -> bool {
+        self.link_up[node.0]
+    }
+
+    /// Whether the switch is currently up.
+    pub fn switch_up(&self) -> bool {
+        self.switch_up
+    }
+
+    /// Whether `node`'s NIC is powered.
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.node_up[node.0]
+    }
+
+    /// Whether a frame sent now from `a` could reach `b`.
+    pub fn path_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.node_up[a.0]
+            && self.node_up[b.0]
+            && self.link_up[a.0]
+            && self.link_up[b.0]
+            && self.switch_up
+    }
+
+    /// Arranges for the next `count` frames sent by `src` to be dropped
+    /// (transient packet-loss injection).
+    pub fn inject_drops_from(&mut self, src: NodeId, count: u32) {
+        self.drop_next_from[src.0] += count;
+    }
+
+    /// Attempts to transmit `frame` at time `now`.
+    ///
+    /// On success, the returned arrival time accounts for sender
+    /// serialization, two link hops, the switch, and receiver
+    /// serialization. The caller is responsible for scheduling delivery.
+    pub fn transmit<P>(&mut self, now: SimTime, frame: &Frame<P>) -> TransmitOutcome {
+        let src = frame.src.0;
+        let dst = frame.dst.0;
+        assert!(src < self.config.nodes && dst < self.config.nodes);
+
+        let reason = if !self.node_up[src] {
+            Some(LossReason::SrcNodeDown)
+        } else if !self.link_up[src] {
+            Some(LossReason::SrcLinkDown)
+        } else if self.drop_next_from[src] > 0 {
+            self.drop_next_from[src] -= 1;
+            Some(LossReason::Injected)
+        } else if !self.switch_up {
+            Some(LossReason::SwitchDown)
+        } else if !self.link_up[dst] {
+            Some(LossReason::DstLinkDown)
+        } else if !self.node_up[dst] {
+            Some(LossReason::DstNodeDown)
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            self.stats.lost += 1;
+            return TransmitOutcome::Lost { reason };
+        }
+
+        let wire = self.wire_time(frame.bytes);
+
+        // Sender serialization.
+        let tx_start = self.tx_busy[src].max(now);
+        if tx_start.saturating_since(now) > self.config.max_tx_backlog {
+            self.stats.lost += 1;
+            return TransmitOutcome::Lost {
+                reason: LossReason::TxQueueOverrun,
+            };
+        }
+        let tx_end = tx_start + wire;
+        self.tx_busy[src] = tx_end;
+
+        // Propagation through the switch.
+        let at_switch = tx_end + self.config.link_latency + self.config.switch_latency;
+        let at_dst_port = at_switch + self.config.link_latency;
+
+        // Receiver serialization.
+        let rx_start = self.rx_busy[dst].max(at_dst_port);
+        if rx_start.saturating_since(at_dst_port) > self.config.max_rx_backlog {
+            self.stats.lost += 1;
+            return TransmitOutcome::Lost {
+                reason: LossReason::RxQueueOverrun,
+            };
+        }
+        let rx_end = rx_start + wire;
+        self.rx_busy[dst] = rx_end;
+
+        self.stats.delivered += 1;
+        self.stats.bytes_delivered += u64::from(frame.bytes);
+        TransmitOutcome::Delivered { at: rx_end }
+    }
+
+    fn wire_time(&self, bytes: u32) -> SimDuration {
+        let nanos = u64::from(bytes) * 1_000_000_000 / self.config.bandwidth;
+        SimDuration::from_nanos(nanos.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(src: usize, dst: usize, bytes: u32) -> Frame<()> {
+        Frame {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            bytes,
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn healthy_fabric_delivers_with_latency() {
+        let mut f = Fabric::new(FabricConfig::clan_four_nodes());
+        let out = f.transmit(SimTime::ZERO, &frame(0, 1, 1000));
+        let at = out.delivery_time().expect("delivered");
+        // 1000B at 125MB/s = 8us wire time at each endpoint, plus
+        // 5+1+5 us of hops.
+        let expected_nanos = 8_000 + 5_000 + 1_000 + 5_000 + 8_000;
+        assert_eq!(at.as_nanos(), expected_nanos);
+        assert_eq!(f.stats().delivered, 1);
+    }
+
+    #[test]
+    fn sender_link_down_is_sender_observable() {
+        let mut f = Fabric::new(FabricConfig::clan_four_nodes());
+        f.set_link_up(NodeId(0), false);
+        match f.transmit(SimTime::ZERO, &frame(0, 1, 100)) {
+            TransmitOutcome::Lost { reason } => {
+                assert_eq!(reason, LossReason::SrcLinkDown);
+                assert!(reason.sender_observable());
+            }
+            other => panic!("expected loss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn destination_conditions_are_not_sender_observable() {
+        let mut f = Fabric::new(FabricConfig::clan_four_nodes());
+        f.set_link_up(NodeId(1), false);
+        let TransmitOutcome::Lost { reason } = f.transmit(SimTime::ZERO, &frame(0, 1, 100))
+        else {
+            panic!("expected loss");
+        };
+        assert_eq!(reason, LossReason::DstLinkDown);
+        assert!(!reason.sender_observable());
+
+        f.set_link_up(NodeId(1), true);
+        f.set_node_up(NodeId(1), false);
+        let TransmitOutcome::Lost { reason } = f.transmit(SimTime::ZERO, &frame(0, 1, 100))
+        else {
+            panic!("expected loss");
+        };
+        assert_eq!(reason, LossReason::DstNodeDown);
+    }
+
+    #[test]
+    fn switch_down_partitions_everything() {
+        let mut f = Fabric::new(FabricConfig::clan_four_nodes());
+        f.set_switch_up(false);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert!(!f.path_up(NodeId(a), NodeId(b)));
+                }
+            }
+        }
+        let TransmitOutcome::Lost { reason } = f.transmit(SimTime::ZERO, &frame(2, 3, 64))
+        else {
+            panic!("expected loss");
+        };
+        assert_eq!(reason, LossReason::SwitchDown);
+    }
+
+    #[test]
+    fn transmissions_serialize_on_the_sender_link() {
+        let mut f = Fabric::new(FabricConfig::clan_four_nodes());
+        let a = f.transmit(SimTime::ZERO, &frame(0, 1, 125_000)).delivery_time().unwrap();
+        let b = f.transmit(SimTime::ZERO, &frame(0, 2, 125_000)).delivery_time().unwrap();
+        // Each frame needs 1ms of wire time; the second must queue behind
+        // the first on the shared sender link.
+        assert!(b > a);
+        assert!(b.as_nanos() - a.as_nanos() >= 1_000_000);
+    }
+
+    #[test]
+    fn tx_backlog_bound_drops_frames() {
+        let mut cfg = FabricConfig::clan_four_nodes();
+        cfg.max_tx_backlog = SimDuration::from_micros(10);
+        let mut f = Fabric::new(cfg);
+        // Saturate the sender link.
+        let mut dropped = false;
+        for _ in 0..100 {
+            if let TransmitOutcome::Lost { reason } = f.transmit(SimTime::ZERO, &frame(0, 1, 10_000))
+            {
+                assert_eq!(reason, LossReason::TxQueueOverrun);
+                dropped = true;
+                break;
+            }
+        }
+        assert!(dropped, "expected the bounded queue to overrun");
+    }
+
+    #[test]
+    fn injected_drops_consume_exactly_count_frames() {
+        let mut f = Fabric::new(FabricConfig::clan_four_nodes());
+        f.inject_drops_from(NodeId(0), 2);
+        assert!(matches!(
+            f.transmit(SimTime::ZERO, &frame(0, 1, 64)),
+            TransmitOutcome::Lost {
+                reason: LossReason::Injected
+            }
+        ));
+        assert!(matches!(
+            f.transmit(SimTime::ZERO, &frame(0, 1, 64)),
+            TransmitOutcome::Lost {
+                reason: LossReason::Injected
+            }
+        ));
+        assert!(matches!(
+            f.transmit(SimTime::ZERO, &frame(0, 1, 64)),
+            TransmitOutcome::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn crashed_sender_cannot_transmit() {
+        let mut f = Fabric::new(FabricConfig::clan_four_nodes());
+        f.set_node_up(NodeId(0), false);
+        let TransmitOutcome::Lost { reason } = f.transmit(SimTime::ZERO, &frame(0, 1, 64))
+        else {
+            panic!("expected loss");
+        };
+        assert_eq!(reason, LossReason::SrcNodeDown);
+        assert!(reason.sender_observable());
+    }
+
+    #[test]
+    fn recovery_restores_the_path() {
+        let mut f = Fabric::new(FabricConfig::clan_four_nodes());
+        f.set_link_up(NodeId(3), false);
+        assert!(!f.path_up(NodeId(0), NodeId(3)));
+        f.set_link_up(NodeId(3), true);
+        assert!(f.path_up(NodeId(0), NodeId(3)));
+        assert!(matches!(
+            f.transmit(SimTime::ZERO, &frame(0, 3, 64)),
+            TransmitOutcome::Delivered { .. }
+        ));
+    }
+}

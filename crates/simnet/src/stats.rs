@@ -1,0 +1,436 @@
+//! Throughput recording and time-series utilities.
+//!
+//! The paper's phase-1 experiments produce *throughput timelines*:
+//! requests served per second, bucketed over the run, with fault injection
+//! and recovery instants marked. [`ThroughputRecorder`] builds those
+//! timelines; [`TimeSeries`] carries them to the stage-extraction code in
+//! the `performability` crate and to the figure renderers.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Records completion events into fixed-width time buckets and converts
+/// them to a requests-per-second series.
+///
+/// # Example
+///
+/// ```
+/// use simnet::{SimDuration, SimTime, ThroughputRecorder};
+///
+/// let mut rec = ThroughputRecorder::new(SimDuration::from_secs(1));
+/// for i in 0..10 {
+///     rec.record(SimTime::from_nanos(i * 100_000_000)); // 10 events in 1s
+/// }
+/// let series = rec.series(SimTime::from_secs(1));
+/// assert_eq!(series.points[0].1, 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThroughputRecorder {
+    bucket: SimDuration,
+    counts: Vec<u64>,
+}
+
+impl ThroughputRecorder {
+    /// Creates a recorder with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        ThroughputRecorder {
+            bucket,
+            counts: Vec::new(),
+        }
+    }
+
+    /// The bucket width.
+    pub fn bucket(&self) -> SimDuration {
+        self.bucket
+    }
+
+    /// Records one completion at time `at`.
+    pub fn record(&mut self, at: SimTime) {
+        let idx = (at.as_nanos() / self.bucket.as_nanos()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Total completions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Converts the buckets to a rate series covering `[0, end)`. Buckets
+    /// with no events report zero; the (possibly partial) bucket
+    /// containing `end` is dropped to avoid a truncation artifact.
+    pub fn series(&self, end: SimTime) -> TimeSeries {
+        let n = (end.as_nanos() / self.bucket.as_nanos()) as usize;
+        let width = self.bucket.as_secs_f64();
+        let points = (0..n)
+            .map(|i| {
+                let count = self.counts.get(i).copied().unwrap_or(0);
+                let mid = (i as f64 + 0.5) * width;
+                (mid, count as f64 / width)
+            })
+            .collect();
+        TimeSeries { points }
+    }
+}
+
+/// A sampled `(time seconds, value)` series, e.g. throughput over a run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    /// `(time in seconds, value)` samples in ascending time order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates a series from raw points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time coordinates are not non-decreasing.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "time series points must be in ascending time order"
+        );
+        TimeSeries { points }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean value of samples with time in `[t0, t1)`. Returns `None` when
+    /// the window contains no samples.
+    pub fn mean_between(&self, t0: f64, t1: f64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &(t, v) in &self.points {
+            if t >= t0 && t < t1 {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Maximum value over the whole series, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Index of the first sample at or after time `t`.
+    pub fn index_at(&self, t: f64) -> usize {
+        self.points.partition_point(|&(pt, _)| pt < t)
+    }
+}
+
+/// Tallies request outcomes for availability accounting.
+///
+/// Availability in phase 1 is "the percentage of requests served
+/// successfully" (§2); this counter tracks the numerator and denominator
+/// plus a breakdown of failure causes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AvailabilityCounter {
+    /// Requests issued by clients.
+    pub attempts: u64,
+    /// Requests completed successfully.
+    pub successes: u64,
+    /// Requests whose connection attempt timed out (2 s in the paper).
+    pub connect_timeouts: u64,
+    /// Requests that connected but did not complete in time (6 s).
+    pub request_timeouts: u64,
+    /// Requests refused outright (e.g. node down).
+    pub refused: u64,
+}
+
+impl AvailabilityCounter {
+    /// A counter with all tallies at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of attempts that succeeded; 1.0 when nothing was
+    /// attempted (an idle system is trivially available).
+    pub fn availability(&self) -> f64 {
+        if self.attempts == 0 {
+            1.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+
+    /// Total failed requests.
+    pub fn failures(&self) -> u64 {
+        self.connect_timeouts + self.request_timeouts + self.refused
+    }
+
+    /// Folds another counter's tallies into this one.
+    pub fn merge(&mut self, other: &AvailabilityCounter) {
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+        self.connect_timeouts += other.connect_timeouts;
+        self.request_timeouts += other.request_timeouts;
+        self.refused += other.refused;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_buckets_by_time() {
+        let mut rec = ThroughputRecorder::new(SimDuration::from_secs(1));
+        rec.record(SimTime::from_nanos(100));
+        rec.record(SimTime::from_nanos(999_999_999));
+        rec.record(SimTime::from_secs(1));
+        rec.record(SimTime::from_secs(3));
+        let s = rec.series(SimTime::from_secs(4));
+        let values: Vec<f64> = s.points.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, [2.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn series_drops_partial_final_bucket() {
+        let mut rec = ThroughputRecorder::new(SimDuration::from_secs(1));
+        rec.record(SimTime::from_nanos(2_500_000_000));
+        let s = rec.series(SimTime::from_nanos(2_500_000_000));
+        assert_eq!(s.len(), 2); // bucket containing t=2.5s is dropped
+    }
+
+    #[test]
+    fn rate_scales_with_bucket_width() {
+        let mut rec = ThroughputRecorder::new(SimDuration::from_millis(500));
+        rec.record(SimTime::from_nanos(100));
+        let s = rec.series(SimTime::from_secs(1));
+        assert_eq!(s.points[0].1, 2.0); // 1 event / 0.5s bucket
+    }
+
+    #[test]
+    fn mean_between_windows() {
+        let s = TimeSeries::new(vec![(0.5, 10.0), (1.5, 20.0), (2.5, 30.0)]);
+        assert_eq!(s.mean_between(0.0, 2.0), Some(15.0));
+        assert_eq!(s.mean_between(5.0, 6.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn out_of_order_series_panics() {
+        TimeSeries::new(vec![(2.0, 1.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    fn availability_counts() {
+        let mut c = AvailabilityCounter::new();
+        assert_eq!(c.availability(), 1.0);
+        c.attempts = 10;
+        c.successes = 9;
+        c.request_timeouts = 1;
+        assert!((c.availability() - 0.9).abs() < 1e-12);
+        assert_eq!(c.failures(), 1);
+
+        let mut d = AvailabilityCounter::new();
+        d.attempts = 10;
+        d.successes = 10;
+        c.merge(&d);
+        assert_eq!(c.attempts, 20);
+        assert!((c.availability() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_at_finds_first_sample() {
+        let s = TimeSeries::new(vec![(0.5, 1.0), (1.5, 2.0), (2.5, 3.0)]);
+        assert_eq!(s.index_at(0.0), 0);
+        assert_eq!(s.index_at(1.0), 1);
+        assert_eq!(s.index_at(9.0), 3);
+    }
+}
+
+/// A log-bucketed latency histogram with percentile queries.
+///
+/// Buckets grow geometrically from 10 µs to ~84 s (1.3× per bucket),
+/// which keeps percentile error under 15% across the whole range a
+/// request can survive — plenty for availability work, where the
+/// interesting boundaries are "fast", "slow", and "timed out".
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let mut bounds = Vec::new();
+        let mut b = 10e-6;
+        while b < 100.0 {
+            bounds.push(b);
+            b *= 1.3;
+        }
+        let counts = vec![0; bounds.len() + 1];
+        LatencyHistogram {
+            bounds,
+            counts,
+            total: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Records one latency sample, in seconds.
+    pub fn record(&mut self, seconds: f64) {
+        let seconds = seconds.max(0.0);
+        let idx = self.bounds.partition_point(|b| *b < seconds);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += seconds;
+        self.max = self.max.max(seconds);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The latency at quantile `q` in `[0, 1]` (upper bucket bound; the
+    /// max for the overflow bucket). Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        debug_assert_eq!(self.bounds.len(), other.bounds.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000 {
+            h.record(f64::from(i) * 1e-3); // 1ms..1s uniform
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((0.4..0.7).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((0.9..1.4).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(1.0) >= p99);
+        assert!((h.mean() - 0.5005).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero_everywhere() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_the_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(500.0); // beyond the last bound
+        assert_eq!(h.quantile(0.99), 500.0);
+        assert_eq!(h.max(), 500.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(0.001);
+        b.record(1.0);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!(a.quantile(1.0) >= 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_quantile_panics() {
+        LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn bucket_resolution_is_bounded() {
+        // Adjacent bucket bounds differ by 1.3x: the relative error of a
+        // quantile is at most 30%.
+        let h = LatencyHistogram::new();
+        for w in h.bounds.windows(2) {
+            assert!(w[1] / w[0] < 1.3001);
+        }
+    }
+}

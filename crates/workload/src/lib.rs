@@ -1,0 +1,16 @@
+//! Client workload generation (§5.1 of the paper).
+//!
+//! Clients follow a trace with a Zipf-like popularity distribution over
+//! a fixed-size document set (the paper normalizes all files to the
+//! average size of its Rutgers trace). Load is open-loop: requests
+//! arrive as a Poisson process at a configurable aggregate rate and are
+//! spread over the cluster round-robin (the paper uses round-robin
+//! DNS). Each request times out after 2 s if its connection cannot be
+//! completed and 6 s if the completed connection does not produce a
+//! response.
+
+pub mod clients;
+pub mod zipf;
+
+pub use clients::{ClientConfig, ClientEvent, ClientPool};
+pub use zipf::Zipf;

@@ -1,0 +1,36 @@
+//! Umbrella crate for the cluster-performability reproduction.
+//!
+//! This crate re-exports the workspace's subsystem crates so examples,
+//! integration tests, and downstream users can depend on a single name:
+//!
+//! * [`simnet`] — deterministic discrete-event engine and network fabric.
+//! * [`transport`] — TCP and VIA protocol models.
+//! * [`mendosus`] — fault-injection campaigns (Table 2 of the paper).
+//! * [`press`] — the PRESS cluster web-server model (5 versions).
+//! * [`workload`] — trace generation and Poisson clients.
+//! * [`performability`] — the 7-stage model and phase-2 analytics.
+//! * [`experiments`] — ready-made experiments for every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cluster_performability::experiments::{ClusterConfig, ClusterSim};
+//! use cluster_performability::press::PressVersion;
+//! use cluster_performability::simnet::SimTime;
+//!
+//! // The shrunk test-bed boots fast; `paper_defaults` gives the full
+//! // 4-node, 128 MB-cache configuration of §5.1.
+//! let config = ClusterConfig::small(PressVersion::Via5);
+//! let mut sim = ClusterSim::new(config, 42);
+//! sim.run_until(SimTime::from_secs(5));
+//! let report = sim.report();
+//! assert!(report.availability.availability() > 0.99);
+//! ```
+
+pub use experiments;
+pub use mendosus;
+pub use performability;
+pub use press;
+pub use simnet;
+pub use transport;
+pub use workload;
