@@ -15,7 +15,7 @@ fn bench_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("repro");
     group.sample_size(10);
     group.bench_function("table1", |b| {
-        b.iter(|| black_box(table1(RunScale::Small, 1).1))
+        b.iter(|| black_box(table1(RunScale::Small, 1, 1).1))
     });
     group.finish();
 }
@@ -24,16 +24,16 @@ fn bench_timeline_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("repro_figures");
     group.sample_size(10);
     group.bench_function("fig2_link_fault", |b| {
-        b.iter(|| black_box(fig2(RunScale::Small, 1).len()))
+        b.iter(|| black_box(fig2(RunScale::Small, 1, 1).len()))
     });
     group.bench_function("fig3_node_crash", |b| {
-        b.iter(|| black_box(fig3(RunScale::Small, 1).len()))
+        b.iter(|| black_box(fig3(RunScale::Small, 1, 1).len()))
     });
     group.bench_function("fig4_memory", |b| {
-        b.iter(|| black_box(fig4(RunScale::Small, 1).len()))
+        b.iter(|| black_box(fig4(RunScale::Small, 1, 1).len()))
     });
     group.bench_function("fig5_null_pointer", |b| {
-        b.iter(|| black_box(fig5(RunScale::Small, 1).len()))
+        b.iter(|| black_box(fig5(RunScale::Small, 1, 1).len()))
     });
     group.finish();
 }

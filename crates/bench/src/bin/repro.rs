@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro -- <target> [--small] [--seed N]
+//! cargo run --release -p bench --bin repro -- <target> [--small] [--seed N] [--jobs N] [--timing]
 //! ```
 //!
 //! where `<target>` is one of `table1`, `table2`, `table3`, `fig2`,
@@ -12,31 +12,111 @@
 //! or `all`. `--small` runs on the shrunk
 //! test-bed (fast, for smoke-testing the harness; numbers will differ
 //! from the paper's scale).
+//!
+//! `--jobs N` fans the independent simulations of each target across N
+//! workers (`--jobs 0` = all cores, `--jobs 1` = sequential, the
+//! default). Every run takes an explicit seed, so stdout is
+//! byte-identical for any job count.
+//!
+//! `--timing` reports wall-clock, events dispatched, and events/second
+//! per target on stderr and writes `BENCH_repro.json` at the repo root;
+//! stdout is unchanged.
 
 use std::env;
+use std::fmt::Write as _;
+use std::time::Instant;
 
 use experiments::figures::{
     ablation_heartbeat, ablation_membership, build_profiles, crossover, fig10, fig2, fig3, fig4,
     fig5, fig6, fig7, fig8, fig9, off_by_n_summary, table1, table2, table3, REPRO_SEED,
 };
 use experiments::phase2::RunScale;
+use experiments::{effective_jobs, events_dispatched_total};
 use performability::fault_load::DAY;
+
+/// One timed target for the `--timing` report.
+struct Timing {
+    name: String,
+    wall_s: f64,
+    events: u64,
+}
+
+impl Timing {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn write_bench_json(path: &str, scale: RunScale, seed: u64, jobs: usize, timings: &[Timing]) {
+    let total_wall: f64 = timings.iter().map(|t| t.wall_s).sum();
+    let total_events: u64 = timings.iter().map(|t| t.events).sum();
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"scale\": \"{}\",",
+        match scale {
+            RunScale::Paper => "paper",
+            RunScale::Small => "small",
+        }
+    );
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"total_wall_s\": {total_wall:.3},");
+    let _ = writeln!(json, "  \"total_events\": {total_events},");
+    json.push_str("  \"targets\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}",
+            t.name,
+            t.wall_s,
+            t.events,
+            t.events_per_sec()
+        );
+        json.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut target = String::from("all");
     let mut scale = RunScale::Paper;
     let mut seed = REPRO_SEED;
+    let mut jobs_arg = 1usize;
+    let mut timing = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--small" => scale = RunScale::Small,
             "--seed" => {
-                seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed needs an integer");
+                seed = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    }
+                };
             }
+            "--jobs" => {
+                jobs_arg = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--jobs needs an integer (0 = all cores)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--timing" => timing = true,
             t if !t.starts_with('-') => target = t.to_string(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -44,35 +124,51 @@ fn main() {
             }
         }
     }
+    let jobs = if jobs_arg == 1 { 1 } else { effective_jobs(jobs_arg) };
+
+    let mut timings: Vec<Timing> = Vec::new();
+    let mut timed = |name: &str, f: &mut dyn FnMut()| {
+        let ev0 = events_dispatched_total();
+        let start = Instant::now();
+        f();
+        let wall_s = start.elapsed().as_secs_f64();
+        let events = events_dispatched_total() - ev0;
+        timings.push(Timing {
+            name: name.to_string(),
+            wall_s,
+            events,
+        });
+    };
 
     let needs_profiles = matches!(
         target.as_str(),
         "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "crossover" | "all"
     );
-    let profiles = if needs_profiles {
+    let mut profiles = None;
+    if needs_profiles {
         eprintln!("building per-version fault profiles (phase 1: 11 faults x 5 versions)...");
-        Some(build_profiles(scale, seed))
-    } else {
-        None
-    };
+        timed("profiles", &mut || {
+            profiles = Some(build_profiles(scale, seed, jobs));
+        });
+    }
     let profiles = profiles.as_deref();
 
     let run = |name: &str| match name {
-        "table1" => println!("{}", table1(scale, seed).0),
+        "table1" => println!("{}", table1(scale, seed, jobs).0),
         "table2" => println!("{}", table2()),
         "table3" => println!("{}", table3(DAY)),
-        "fig2" => println!("{}", fig2(scale, seed)),
-        "fig3" => println!("{}", fig3(scale, seed)),
-        "fig4" => println!("{}", fig4(scale, seed)),
-        "fig5" => println!("{}", fig5(scale, seed)),
+        "fig2" => println!("{}", fig2(scale, seed, jobs)),
+        "fig3" => println!("{}", fig3(scale, seed, jobs)),
+        "fig4" => println!("{}", fig4(scale, seed, jobs)),
+        "fig5" => println!("{}", fig5(scale, seed, jobs)),
         "fig6" => println!("{}", fig6(profiles.expect("profiles built"))),
         "fig7" => println!("{}", fig7(profiles.expect("profiles built"))),
         "fig8" => println!("{}", fig8(profiles.expect("profiles built"))),
         "fig9" => println!("{}", fig9(profiles.expect("profiles built"))),
         "fig10" => println!("{}", fig10(profiles.expect("profiles built"))),
-        "offbyn" => println!("{}", off_by_n_summary(scale, seed)),
-        "ablation-membership" => println!("{}", ablation_membership(scale, seed)),
-        "ablation-heartbeat" => println!("{}", ablation_heartbeat(scale, seed)),
+        "offbyn" => println!("{}", off_by_n_summary(scale, seed, jobs)),
+        "ablation-membership" => println!("{}", ablation_membership(scale, seed, jobs)),
+        "ablation-heartbeat" => println!("{}", ablation_heartbeat(scale, seed, jobs)),
         "crossover" => println!("{}", crossover(profiles.expect("profiles built"))),
         other => {
             eprintln!("unknown target {other}");
@@ -87,9 +183,39 @@ fn main() {
             "ablation-heartbeat",
         ] {
             println!("==============================================================");
-            run(name);
+            timed(name, &mut || run(name));
         }
     } else {
-        run(&target);
+        timed(&target, &mut || run(&target));
+    }
+
+    if timing {
+        let total_wall: f64 = timings.iter().map(|t| t.wall_s).sum();
+        let total_events: u64 = timings.iter().map(|t| t.events).sum();
+        eprintln!("\n--- timing (jobs = {jobs}) ---");
+        for t in &timings {
+            eprintln!(
+                "{:<22} {:>8.3} s  {:>12} events  {:>12.0} events/s",
+                t.name,
+                t.wall_s,
+                t.events,
+                t.events_per_sec()
+            );
+        }
+        eprintln!(
+            "{:<22} {:>8.3} s  {:>12} events  {:>12.0} events/s",
+            "total",
+            total_wall,
+            total_events,
+            if total_wall > 0.0 {
+                total_events as f64 / total_wall
+            } else {
+                0.0
+            }
+        );
+        // The harness lives two levels below the repo root.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repro.json");
+        write_bench_json(path, scale, seed, jobs, &timings);
+        eprintln!("wrote {path}");
     }
 }

@@ -3,6 +3,7 @@
 //! real time.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use mendosus::{Campaign, FaultAction, FaultKind, FaultPhase, PlannedMangle};
 use press::{
@@ -160,6 +161,17 @@ impl ClusterReport {
     }
 }
 
+/// Process-wide count of engine events dispatched by completed
+/// simulations (flushed when each [`ClusterSim`] drops). The repro
+/// harness reads deltas around each target to report events/second.
+static EVENTS_DISPATCHED: AtomicU64 = AtomicU64::new(0);
+
+/// Total engine events dispatched by all simulations finished so far,
+/// across all threads.
+pub fn events_dispatched_total() -> u64 {
+    EVENTS_DISPATCHED.load(Ordering::Relaxed)
+}
+
 /// The simulated cluster.
 pub struct ClusterSim {
     config: ClusterConfig,
@@ -173,6 +185,12 @@ pub struct ClusterSim {
     last_members: Vec<usize>,
 }
 
+impl Drop for ClusterSim {
+    fn drop(&mut self) {
+        EVENTS_DISPATCHED.fetch_add(self.engine.dispatched(), Ordering::Relaxed);
+    }
+}
+
 impl ClusterSim {
     /// Builds and boots a fault-free cluster.
     pub fn new(config: ClusterConfig, seed: u64) -> Self {
@@ -183,7 +201,9 @@ impl ClusterSim {
     pub fn with_campaign(config: ClusterConfig, campaign: Campaign, seed: u64) -> Self {
         let mut rng = SimRng::seed_from(seed);
         let n = config.press.nodes;
-        let mut engine = Engine::new();
+        // A booted 4-node cluster keeps a few hundred events in flight;
+        // pre-sizing skips the early heap growth.
+        let mut engine = Engine::with_capacity(512);
         let fabric = Fabric::new(config.fabric.clone());
         let client_config = ClientConfig {
             rate: config.rate,

@@ -14,34 +14,33 @@ use simnet::SimTime;
 
 use crate::cluster::{ClusterConfig, ClusterSim};
 use crate::phase1::{run_fault_experiment, FaultRunResult, FaultScenario};
-use crate::phase2::{behaviors_for_load, evaluate, version_profile, RunScale, VersionProfile};
+use crate::phase2::{behaviors_for_load, evaluate, version_profiles, RunScale, VersionProfile};
 use crate::render::{bar, sparkline, table};
+use crate::runner::run_indexed;
 
 /// Default seed used by the repro harness.
 pub const REPRO_SEED: u64 = 2003;
 
 /// Builds the per-version profiles shared by Figures 6–10 and the
-/// crossover analysis. Expensive at paper scale.
-pub fn build_profiles(scale: RunScale, seed: u64) -> Vec<VersionProfile> {
-    PressVersion::ALL
-        .iter()
-        .map(|v| version_profile(*v, scale, seed))
-        .collect()
+/// crossover analysis. Expensive at paper scale — `jobs > 1` fans the
+/// 60 underlying simulations out across workers with bit-identical
+/// results (every run takes an explicit seed).
+pub fn build_profiles(scale: RunScale, seed: u64, jobs: usize) -> Vec<VersionProfile> {
+    version_profiles(&PressVersion::ALL, scale, seed, jobs)
 }
 
 // ---------------------------------------------------------------------
 // Tables
 // ---------------------------------------------------------------------
 
-/// Table 1: near-peak throughput of the five versions.
-pub fn table1(scale: RunScale, seed: u64) -> (String, Vec<(PressVersion, f64)>) {
+/// Table 1: near-peak throughput of the five versions, one independent
+/// saturation run each (fanned across `jobs` workers).
+pub fn table1(scale: RunScale, seed: u64, jobs: usize) -> (String, Vec<(PressVersion, f64)>) {
     let (measure_until, window) = match scale {
         RunScale::Paper => (40u64, (10.0, 40.0)),
         RunScale::Small => (15u64, (5.0, 15.0)),
     };
-    let mut rows = Vec::new();
-    let mut data = Vec::new();
-    for v in PressVersion::ALL {
+    let data = run_indexed(jobs, PressVersion::ALL.to_vec(), |_i, v| {
         let config = match scale {
             RunScale::Paper => ClusterConfig::paper_defaults(v),
             RunScale::Small => {
@@ -52,8 +51,11 @@ pub fn table1(scale: RunScale, seed: u64) -> (String, Vec<(PressVersion, f64)>) 
         };
         let mut sim = ClusterSim::new(config, seed);
         sim.run_until(SimTime::from_secs(measure_until));
-        let t = sim.mean_throughput(window.0, window.1);
-        data.push((v, t));
+        (v, sim.mean_throughput(window.0, window.1))
+    });
+    let mut rows = Vec::new();
+    for (v, t) in &data {
+        let (v, t) = (*v, *t);
         rows.push(vec![
             v.name().to_string(),
             format!("{t:.0}"),
@@ -216,13 +218,36 @@ fn indent(s: &str, n: usize) -> String {
     s.lines().map(|l| format!("{pad}{l}\n")).collect()
 }
 
-/// Figure 2: throughput under a transient link failure.
-pub fn fig2(scale: RunScale, seed: u64) -> String {
-    let mut out = String::from("Figure 2 — transient link failure (intra-cluster link of node 3)\n\n");
-    for v in [PressVersion::Tcp, PressVersion::TcpHb, PressVersion::Via5] {
-        out.push_str(&render_timeline(&timeline_run(v, FaultKind::LinkDown, NodeId(3), scale, seed)));
+/// Runs the `(version, fault)` timelines of one figure in parallel and
+/// renders them in task order, so output is identical for any `jobs`.
+fn timeline_figure(
+    runs: Vec<(PressVersion, FaultKind)>,
+    scale: RunScale,
+    seed: u64,
+    jobs: usize,
+) -> String {
+    let results = run_indexed(jobs, runs, |_i, (v, kind)| {
+        timeline_run(v, kind, NodeId(3), scale, seed)
+    });
+    let mut out = String::new();
+    for r in &results {
+        out.push_str(&render_timeline(r));
         out.push('\n');
     }
+    out
+}
+
+/// Figure 2: throughput under a transient link failure.
+pub fn fig2(scale: RunScale, seed: u64, jobs: usize) -> String {
+    let mut out = String::from("Figure 2 — transient link failure (intra-cluster link of node 3)\n\n");
+    out.push_str(&timeline_figure(
+        [PressVersion::Tcp, PressVersion::TcpHb, PressVersion::Via5]
+            .map(|v| (v, FaultKind::LinkDown))
+            .to_vec(),
+        scale,
+        seed,
+        jobs,
+    ));
     out.push_str(
         "(VIA-PRESS-0 and VIA-PRESS-3 behave essentially like VIA-PRESS-5, as in the paper.)\n",
     );
@@ -230,58 +255,51 @@ pub fn fig2(scale: RunScale, seed: u64) -> String {
 }
 
 /// Figure 3: throughput under a node crash.
-pub fn fig3(scale: RunScale, seed: u64) -> String {
+pub fn fig3(scale: RunScale, seed: u64, jobs: usize) -> String {
     let mut out = String::from("Figure 3 — node crash (hard reboot of node 3)\n\n");
-    for v in [PressVersion::Tcp, PressVersion::TcpHb, PressVersion::Via5] {
-        out.push_str(&render_timeline(&timeline_run(v, FaultKind::NodeCrash, NodeId(3), scale, seed)));
-        out.push('\n');
-    }
+    out.push_str(&timeline_figure(
+        [PressVersion::Tcp, PressVersion::TcpHb, PressVersion::Via5]
+            .map(|v| (v, FaultKind::NodeCrash))
+            .to_vec(),
+        scale,
+        seed,
+        jobs,
+    ));
     out
 }
 
 /// Figure 4: kernel memory exhaustion (TCP versions) and pinnable
 /// memory exhaustion (VIA-PRESS-5).
-pub fn fig4(scale: RunScale, seed: u64) -> String {
+pub fn fig4(scale: RunScale, seed: u64, jobs: usize) -> String {
     let mut out = String::from(
         "Figure 4 — memory exhaustion (kernel allocation for TCP; pinnable memory for VIA-5)\n\n",
     );
-    for v in [PressVersion::Tcp, PressVersion::TcpHb] {
-        out.push_str(&render_timeline(&timeline_run(
-            v,
-            FaultKind::KernelAllocFail,
-            NodeId(3),
-            scale,
-            seed,
-        )));
-        out.push('\n');
-    }
-    for v in [PressVersion::Via0, PressVersion::Via5] {
-        out.push_str(&render_timeline(&timeline_run(
-            v,
-            FaultKind::MemPinFail,
-            NodeId(3),
-            scale,
-            seed,
-        )));
-        out.push('\n');
-    }
+    out.push_str(&timeline_figure(
+        vec![
+            (PressVersion::Tcp, FaultKind::KernelAllocFail),
+            (PressVersion::TcpHb, FaultKind::KernelAllocFail),
+            (PressVersion::Via0, FaultKind::MemPinFail),
+            (PressVersion::Via5, FaultKind::MemPinFail),
+        ],
+        scale,
+        seed,
+        jobs,
+    ));
     out.push_str("(VIA versions pre-allocate, so kernel allocation faults do not touch them;\n only the zero-copy VIA-PRESS-5 is exposed to pinning exhaustion.)\n");
     out
 }
 
 /// Figure 5: NULL pointer passed to the send API.
-pub fn fig5(scale: RunScale, seed: u64) -> String {
+pub fn fig5(scale: RunScale, seed: u64, jobs: usize) -> String {
     let mut out = String::from("Figure 5 — NULL data pointer passed to a file-data send on node 3\n\n");
-    for v in [PressVersion::Tcp, PressVersion::Via0, PressVersion::Via5] {
-        out.push_str(&render_timeline(&timeline_run(
-            v,
-            FaultKind::BadParamNull,
-            NodeId(3),
-            scale,
-            seed,
-        )));
-        out.push('\n');
-    }
+    out.push_str(&timeline_figure(
+        [PressVersion::Tcp, PressVersion::Via0, PressVersion::Via5]
+            .map(|v| (v, FaultKind::BadParamNull))
+            .to_vec(),
+        scale,
+        seed,
+        jobs,
+    ));
     out
 }
 
@@ -586,24 +604,30 @@ pub fn crossover(profiles: &[VersionProfile]) -> String {
 }
 
 /// Reproduces the §5.5 off-by-N observation: where errors surface.
-pub fn off_by_n_summary(scale: RunScale, seed: u64) -> String {
+pub fn off_by_n_summary(scale: RunScale, seed: u64, jobs: usize) -> String {
     let mut out = String::from(
         "Off-by-N bad parameters — where the error surfaces (§5.5)\n\n",
     );
+    let mut tasks = Vec::new();
     for v in [PressVersion::Tcp, PressVersion::Via0, PressVersion::Via5] {
         for kind in [FaultKind::BadParamOffPtr, FaultKind::BadParamOffSize] {
-            let r = timeline_run(v, kind, NodeId(3), scale, seed);
-            let exits = r.report.process_log.iter().filter(|(_, _, e)| {
-                matches!(e, crate::cluster::ProcEvent::Exit)
-            });
-            let nodes: Vec<String> = exits.map(|(_, n, _)| n.to_string()).collect();
-            out.push_str(&format!(
-                "{:<14} {:<40} processes terminated: {}\n",
-                v.name(),
-                kind.name(),
-                if nodes.is_empty() { "none".to_string() } else { nodes.join(", ") },
-            ));
+            tasks.push((v, kind));
         }
+    }
+    let results = run_indexed(jobs, tasks, |_i, (v, kind)| {
+        (v, kind, timeline_run(v, kind, NodeId(3), scale, seed))
+    });
+    for (v, kind, r) in &results {
+        let exits = r.report.process_log.iter().filter(|(_, _, e)| {
+            matches!(e, crate::cluster::ProcEvent::Exit)
+        });
+        let nodes: Vec<String> = exits.map(|(_, n, _)| n.to_string()).collect();
+        out.push_str(&format!(
+            "{:<14} {:<40} processes terminated: {}\n",
+            v.name(),
+            kind.name(),
+            if nodes.is_empty() { "none".to_string() } else { nodes.join(", ") },
+        ));
     }
     out
 }
@@ -634,10 +658,29 @@ mod tests {
 
     #[test]
     fn timeline_figures_render_at_small_scale() {
-        let s = fig5(RunScale::Small, 5);
+        let s = fig5(RunScale::Small, 5, 1);
         assert!(s.contains("TCP-PRESS"));
         assert!(s.contains("VIA-PRESS-0"));
         assert!(s.contains("stage") || s.contains("no degraded stages"));
+    }
+
+    #[test]
+    fn figure_output_is_identical_across_job_counts() {
+        assert_eq!(
+            fig5(RunScale::Small, 5, 1),
+            fig5(RunScale::Small, 5, 3),
+            "parallel timeline figure must render byte-identically"
+        );
+    }
+
+    #[test]
+    fn profiles_are_identical_across_job_counts() {
+        let sequential = build_profiles(RunScale::Small, 5, 1);
+        let parallel = build_profiles(RunScale::Small, 5, 4);
+        assert_eq!(
+            sequential, parallel,
+            "profile building must be bit-identical for any job count"
+        );
     }
 }
 
@@ -648,44 +691,50 @@ mod tests {
 /// Ablation: the membership-repair extension the paper's §6.2 asks for.
 /// Re-runs the splinter-producing faults with periodic merge probes
 /// enabled and shows the operator reset disappearing.
-pub fn ablation_membership(scale: RunScale, seed: u64) -> String {
+pub fn ablation_membership(scale: RunScale, seed: u64, jobs: usize) -> String {
     let mut out = String::from(
         "Ablation — membership repair (the \"rigorous membership algorithm\" of §6.2)\n\
          Splinter-producing faults with and without periodic merge probes:\n\n",
     );
-    let mut rows = Vec::new();
+    let mut tasks = Vec::new();
     for version in [PressVersion::TcpHb, PressVersion::Via5, PressVersion::Tcp] {
         for kind in [FaultKind::LinkDown, FaultKind::NodeCrash] {
             for repair in [false, true] {
-                let mut config = match scale {
-                    RunScale::Paper => ClusterConfig::fault_experiment(version),
-                    RunScale::Small => ClusterConfig::small(version),
-                };
-                config.press.membership_repair = repair;
-                let scenario = match scale {
-                    RunScale::Paper => FaultScenario::standard(kind, NodeId(3)),
-                    RunScale::Small => FaultScenario::quick(kind, NodeId(3)),
-                };
-                let r = run_fault_experiment(config, scenario, seed);
-                let tail = r
-                    .series
-                    .mean_between(r.markers.end - 10.0, r.markers.end)
-                    .unwrap_or(0.0)
-                    / r.tn;
-                rows.push(vec![
-                    version.name().to_string(),
-                    kind.name().to_string(),
-                    if repair { "on" } else { "off" }.to_string(),
-                    format!("{:.3}%", r.report.availability.availability() * 100.0),
-                    format!("{:.0}% of Tn", tail * 100.0),
-                    if r.needs_operator_reset {
-                        "operator reset required".to_string()
-                    } else {
-                        "self-healed".to_string()
-                    },
-                ]);
+                tasks.push((version, kind, repair));
             }
         }
+    }
+    let results = run_indexed(jobs, tasks, |_i, (version, kind, repair)| {
+        let mut config = match scale {
+            RunScale::Paper => ClusterConfig::fault_experiment(version),
+            RunScale::Small => ClusterConfig::small(version),
+        };
+        config.press.membership_repair = repair;
+        let scenario = match scale {
+            RunScale::Paper => FaultScenario::standard(kind, NodeId(3)),
+            RunScale::Small => FaultScenario::quick(kind, NodeId(3)),
+        };
+        (version, kind, repair, run_fault_experiment(config, scenario, seed))
+    });
+    let mut rows = Vec::new();
+    for (version, kind, repair, r) in &results {
+        let tail = r
+            .series
+            .mean_between(r.markers.end - 10.0, r.markers.end)
+            .unwrap_or(0.0)
+            / r.tn;
+        rows.push(vec![
+            version.name().to_string(),
+            kind.name().to_string(),
+            if *repair { "on" } else { "off" }.to_string(),
+            format!("{:.3}%", r.report.availability.availability() * 100.0),
+            format!("{:.0}% of Tn", tail * 100.0),
+            if r.needs_operator_reset {
+                "operator reset required".to_string()
+            } else {
+                "self-healed".to_string()
+            },
+        ]);
     }
     out.push_str(&table(
         &[
@@ -707,12 +756,12 @@ pub fn ablation_membership(scale: RunScale, seed: u64) -> String {
 
 /// Ablation: heartbeat tuning — detection latency against the cost of
 /// the beats, sweeping the detection threshold.
-pub fn ablation_heartbeat(scale: RunScale, seed: u64) -> String {
+pub fn ablation_heartbeat(scale: RunScale, seed: u64, jobs: usize) -> String {
     let mut out = String::from(
         "Ablation — heartbeat detection threshold (interval x misses) under a link fault\n\n",
     );
-    let mut rows = Vec::new();
-    for (interval_s, misses) in [(1u64, 3u32), (5, 3), (5, 5), (10, 3)] {
+    let tasks = vec![(1u64, 3u32), (5, 3), (5, 5), (10, 3)];
+    let results = run_indexed(jobs, tasks, |_i, (interval_s, misses)| {
         let mut config = match scale {
             RunScale::Paper => ClusterConfig::fault_experiment(PressVersion::TcpHb),
             RunScale::Small => ClusterConfig::small(PressVersion::TcpHb),
@@ -723,11 +772,14 @@ pub fn ablation_heartbeat(scale: RunScale, seed: u64) -> String {
             RunScale::Paper => FaultScenario::standard(FaultKind::LinkDown, NodeId(3)),
             RunScale::Small => FaultScenario::quick(FaultKind::LinkDown, NodeId(3)),
         };
-        let r = run_fault_experiment(config, scenario, seed);
+        (interval_s, misses, run_fault_experiment(config, scenario, seed))
+    });
+    let mut rows = Vec::new();
+    for (interval_s, misses, r) in &results {
         let lag = r.markers.detected.map(|d| d - r.markers.fault);
         rows.push(vec![
             format!("{interval_s} s x {misses}"),
-            format!("{} s", interval_s * u64::from(misses)),
+            format!("{} s", interval_s * u64::from(*misses)),
             match lag {
                 Some(l) => format!("{l:.1} s"),
                 None => "none".to_string(),

@@ -9,14 +9,20 @@
 //!   unavailability, performability, sensitivity scenarios (§6).
 //! * [`figures`] — one entry point per table/figure of the paper.
 //! * [`render`] — plain-text rendering of timelines and bar charts.
+//! * [`runner`] — deterministic parallel execution of independent runs.
 
 pub mod cluster;
 pub mod figures;
 pub mod phase1;
 pub mod phase2;
 pub mod render;
+pub mod runner;
 
-pub use cluster::{ClusterConfig, ClusterReport, ClusterSim};
+pub use cluster::{events_dispatched_total, ClusterConfig, ClusterReport, ClusterSim};
 
 pub use phase1::{measure_warmup, run_fault_experiment, FaultRunResult, FaultScenario};
-pub use phase2::{behaviors_for_load, evaluate, version_profile, Phase2Result, RunScale, VersionProfile};
+pub use phase2::{
+    behaviors_for_load, evaluate, version_profile, version_profiles, Phase2Result, RunScale,
+    VersionProfile,
+};
+pub use runner::{effective_jobs, run_indexed};

@@ -23,6 +23,7 @@ use simnet::SimDuration;
 
 use crate::cluster::ClusterConfig;
 use crate::phase1::{measure_warmup, run_fault_experiment, FaultRunResult, FaultScenario};
+use crate::runner;
 
 /// How long the operator takes to notice a splintered cluster and start
 /// a reset (environmental parameter of the model; consistent with the
@@ -43,7 +44,7 @@ pub enum RunScale {
 }
 
 /// One fault class's measured behaviour, with its healing outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeasuredFault {
     /// Stage parameters extracted from the run (stage C at the injected
     /// duration; rescaled per fault load later).
@@ -55,7 +56,7 @@ pub struct MeasuredFault {
 }
 
 /// Everything phase 2 needs to know about one PRESS version.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VersionProfile {
     /// The version.
     pub version: PressVersion,
@@ -103,43 +104,109 @@ fn config_for(version: PressVersion, scale: RunScale) -> ClusterConfig {
     }
 }
 
+/// The eleven fault classes phase 1 measures directly (Table 3's base
+/// classes), in profile-assembly order.
+pub const MEASURED_FAULTS: [ModelFault; 11] = [
+    ModelFault::LinkDown,
+    ModelFault::SwitchDown,
+    ModelFault::NodeCrash,
+    ModelFault::NodeFreeze,
+    ModelFault::MemPin,
+    ModelFault::MemAlloc,
+    ModelFault::ProcessCrash,
+    ModelFault::ProcessHang,
+    ModelFault::BadNull,
+    ModelFault::BadOffPtr,
+    ModelFault::BadOffSize,
+];
+
+/// Output of one unit of profile-building work (one simulation).
+enum ProfileRun {
+    Fault {
+        fault: ModelFault,
+        tn: f64,
+        measured: MeasuredFault,
+    },
+    Warmup((f64, f64)),
+}
+
 /// Runs every phase-1 experiment for `version` and assembles its
 /// profile. Expensive at [`RunScale::Paper`] (tens of millions of
 /// events); prefer release builds.
 pub fn version_profile(version: PressVersion, scale: RunScale, seed: u64) -> VersionProfile {
-    let mut faults = BTreeMap::new();
-    let mut tn_sum = 0.0;
-    let mut tn_n = 0u32;
-    for fault in [
-        ModelFault::LinkDown,
-        ModelFault::SwitchDown,
-        ModelFault::NodeCrash,
-        ModelFault::NodeFreeze,
-        ModelFault::MemPin,
-        ModelFault::MemAlloc,
-        ModelFault::ProcessCrash,
-        ModelFault::ProcessHang,
-        ModelFault::BadNull,
-        ModelFault::BadOffPtr,
-        ModelFault::BadOffSize,
-    ] {
-        let scenario = scenario_for(fault, scale).expect("base classes have scenarios");
-        let r = run_fault_experiment(config_for(version, scale), scenario, seed);
-        tn_sum += r.tn;
-        tn_n += 1;
-        faults.insert(fault, measured_from_run(&r));
+    version_profiles(&[version], scale, seed, 1)
+        .pop()
+        .expect("one version in, one profile out")
+}
+
+/// Builds the profiles for several versions at once, fanning the
+/// underlying simulations (11 fault runs + 1 warm-up per version, all
+/// taking explicit seeds and sharing nothing) across `jobs` workers.
+///
+/// Results are **bit-identical** to the sequential path for any `jobs`:
+/// runs land in task-id order, so even the floating-point accumulation
+/// of the mean throughput happens in the same order.
+pub fn version_profiles(
+    versions: &[PressVersion],
+    scale: RunScale,
+    seed: u64,
+    jobs: usize,
+) -> Vec<VersionProfile> {
+    let mut tasks = Vec::with_capacity(versions.len() * (MEASURED_FAULTS.len() + 1));
+    for v in versions {
+        for fault in MEASURED_FAULTS {
+            tasks.push((*v, Some(fault)));
+        }
+        tasks.push((*v, None));
     }
-    let warmup_run = match scale {
-        RunScale::Paper => SimDuration::from_secs(180),
-        RunScale::Small => SimDuration::from_secs(60),
-    };
-    let warmup = measure_warmup(config_for(version, scale), warmup_run, seed);
-    VersionProfile {
-        version,
-        tn: tn_sum / f64::from(tn_n),
-        faults,
-        warmup,
-    }
+    let runs = runner::run_indexed(jobs, tasks, |_i, (version, fault)| match fault {
+        Some(fault) => {
+            let scenario = scenario_for(fault, scale).expect("base classes have scenarios");
+            let r = run_fault_experiment(config_for(version, scale), scenario, seed);
+            ProfileRun::Fault {
+                fault,
+                tn: r.tn,
+                measured: measured_from_run(&r),
+            }
+        }
+        None => {
+            let warmup_run = match scale {
+                RunScale::Paper => SimDuration::from_secs(180),
+                RunScale::Small => SimDuration::from_secs(60),
+            };
+            ProfileRun::Warmup(measure_warmup(config_for(version, scale), warmup_run, seed))
+        }
+    });
+
+    let mut runs = runs.into_iter();
+    versions
+        .iter()
+        .map(|version| {
+            let mut faults = BTreeMap::new();
+            let mut tn_sum = 0.0;
+            let mut tn_n = 0u32;
+            for _ in 0..MEASURED_FAULTS.len() {
+                match runs.next().expect("one run per measured fault") {
+                    ProfileRun::Fault { fault, tn, measured } => {
+                        tn_sum += tn;
+                        tn_n += 1;
+                        faults.insert(fault, measured);
+                    }
+                    ProfileRun::Warmup(_) => unreachable!("warm-up is the last task per version"),
+                }
+            }
+            let warmup = match runs.next().expect("one warm-up per version") {
+                ProfileRun::Warmup(w) => w,
+                ProfileRun::Fault { .. } => unreachable!("fault tasks precede the warm-up"),
+            };
+            VersionProfile {
+                version: *version,
+                tn: tn_sum / f64::from(tn_n),
+                faults,
+                warmup,
+            }
+        })
+        .collect()
 }
 
 /// Converts one phase-1 run into the profile entry.

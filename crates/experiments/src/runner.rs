@@ -1,0 +1,138 @@
+//! Deterministic parallel execution of independent experiment runs.
+//!
+//! The paper's methodology is embarrassingly parallel: every phase-1
+//! experiment is one `ClusterSim` built from an explicit `(config,
+//! scenario, seed)` triple, sharing no state with any other run. This
+//! module fans such task lists out across a small thread pool while
+//! guaranteeing **bit-identical results to sequential execution**:
+//! each task's output is written into a pre-sized slot indexed by task
+//! id, never by completion order, so callers that fold the results in
+//! task order (including floating-point accumulation order) observe
+//! exactly the sequential outcome.
+//!
+//! Built on `std::thread::scope` only — the build environment cannot
+//! fetch external crates, and a work queue over scoped threads is all
+//! this shape of parallelism needs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a user-facing `--jobs` request to a worker count:
+/// `0` means "auto" (all available cores); anything else is capped by
+/// available parallelism so oversubscription never helps a run lie
+/// about its speed.
+pub fn effective_jobs(requested: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    match requested {
+        0 => cores,
+        n => n.min(cores),
+    }
+}
+
+/// Runs `f` over every task, returning outputs in task order.
+///
+/// With `jobs <= 1` (or fewer than two tasks) this is a plain in-order
+/// map — the reference behaviour. Otherwise `min(jobs, tasks)` scoped
+/// workers pull task indices from a shared counter and write results
+/// into the slot matching the task index. Because every task carries
+/// its own seed and shares nothing, the output vector is identical to
+/// the sequential map regardless of scheduling.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all threads are joined.
+pub fn run_indexed<T, R, F>(jobs: usize, tasks: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = tasks.len();
+    if jobs <= 1 || n <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let workers = jobs.min(n);
+    let queue: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = queue[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("task claimed twice");
+                let out = f(i, task);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing its result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let tasks: Vec<u64> = (0..37).collect();
+        let f = |i: usize, t: u64| (i as u64) * 1_000 + t * t;
+        let seq = run_indexed(1, tasks.clone(), f);
+        let par = run_indexed(4, tasks, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn results_are_in_task_order_not_completion_order() {
+        // Early tasks sleep longer, so completion order is reversed;
+        // output order must still follow task ids.
+        let tasks: Vec<u64> = (0..8).collect();
+        let out = run_indexed(8, tasks, |i, t| {
+            std::thread::sleep(std::time::Duration::from_millis(8 - t));
+            i
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_jobs_than_tasks_is_fine() {
+        let out = run_indexed(16, vec![5u32, 6], |_, t| t * 2);
+        assert_eq!(out, [10, 12]);
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let out: Vec<u32> = run_indexed(4, Vec::<u32>::new(), |_, t| t);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn effective_jobs_resolves_auto_and_caps() {
+        let cores = std::thread::available_parallelism().unwrap().get();
+        assert_eq!(effective_jobs(0), cores);
+        assert_eq!(effective_jobs(1), 1);
+        assert!(effective_jobs(usize::MAX) <= cores);
+    }
+}

@@ -1,4 +1,11 @@
 //! Intra-cluster message types and the client request record.
+//!
+//! Variable-length payloads (membership views, cache summaries) are
+//! `Arc`-shared slices: fanning one logical message out to N peers
+//! clones the `PressMsg` N times, and with `Arc` payloads each clone is
+//! a reference-count bump instead of a fresh heap allocation.
+
+use std::sync::Arc;
 
 use simnet::fabric::NodeId;
 use simnet::SimTime;
@@ -71,12 +78,12 @@ pub enum MsgBody {
     /// Reply to a rejoin: the current membership view.
     RejoinInfo {
         /// Nodes the responder currently cooperates with.
-        members: Vec<NodeId>,
+        members: Arc<[NodeId]>,
     },
     /// Cache contents summary sent to a rejoining node so it can route.
     CacheInfo {
         /// Files cached at the sender.
-        files: Vec<FileId>,
+        files: Arc<[FileId]>,
     },
     /// Membership-repair extension (§6.2 future work): probe asking a
     /// non-member to merge back.
@@ -84,7 +91,7 @@ pub enum MsgBody {
     /// Membership-repair extension: accept a merge, sharing the view.
     MergeAccept {
         /// Nodes the responder currently cooperates with.
-        members: Vec<NodeId>,
+        members: Arc<[NodeId]>,
     },
     /// Membership-repair extension: a previously excluded node is back.
     MemberUp {

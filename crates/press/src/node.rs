@@ -910,16 +910,16 @@ impl PressNode {
                     return; // we are not in a position to admit anyone
                 }
                 self.admit_member(ctx, peer);
-                let members = self.sorted_members();
+                let members = self.sorted_members().into();
                 self.send_control(ctx, peer, MsgBody::RejoinInfo { members });
-                let files = self.cached_files();
+                let files = self.cached_files().into();
                 self.send_control(ctx, peer, MsgBody::CacheInfo { files });
             }
             MsgBody::RejoinInfo { members } => {
                 if !self.rejoining {
                     return;
                 }
-                for m in members {
+                for m in members.iter().copied() {
                     if m != self.id {
                         self.admit_member(ctx, m);
                     }
@@ -945,7 +945,7 @@ impl PressNode {
                 }
             }
             MsgBody::CacheInfo { files } => {
-                for f in files {
+                for f in files.iter().copied() {
                     self.directory.add(f, peer);
                 }
             }
@@ -957,9 +957,9 @@ impl PressNode {
                     self.admit_member(ctx, peer);
                     self.broadcast(ctx, MsgBody::MemberUp { node: peer });
                 }
-                let members = self.sorted_members();
+                let members = self.sorted_members().into();
                 self.send_control(ctx, peer, MsgBody::MergeAccept { members });
-                let files = self.cached_files();
+                let files = self.cached_files().into();
                 self.send_control(ctx, peer, MsgBody::CacheInfo { files });
             }
             MsgBody::MergeAccept { members } => {
@@ -967,7 +967,7 @@ impl PressNode {
                     return;
                 }
                 let mut grew = false;
-                for m in members {
+                for m in members.iter().copied() {
                     if m != self.id && !self.members.contains(&m) {
                         self.admit_member(ctx, m);
                         if !ctx.sub.is_connected(m) {
@@ -979,8 +979,9 @@ impl PressNode {
                 if grew {
                     self.stats.merges += 1;
                     // Share caching information with the whole merged
-                    // cluster so routing recovers immediately.
-                    let files = self.cached_files();
+                    // cluster so routing recovers immediately; the Arc'd
+                    // summary is built once and shared by every copy.
+                    let files: std::sync::Arc<[FileId]> = self.cached_files().into();
                     let members = self.sorted_members();
                     for m in members {
                         if m != self.id {
@@ -997,7 +998,7 @@ impl PressNode {
                 {
                     self.admit_member(ctx, node);
                     if ctx.sub.is_connected(node) {
-                        let files = self.cached_files();
+                        let files = self.cached_files().into();
                         self.send_control(ctx, node, MsgBody::CacheInfo { files });
                     } else {
                         ctx.sub.open(ctx.now, node, ctx.fx);
@@ -1662,7 +1663,7 @@ mod tests {
                     msg: PressMsg {
                         load: 0,
                         body: MsgBody::MergeAccept {
-                            members: vec![NodeId(3)],
+                            members: vec![NodeId(3)].into(),
                         },
                     },
                     class: transport::MsgClass::Control,

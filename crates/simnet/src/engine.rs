@@ -4,9 +4,17 @@
 //! scheduled for the same instant are delivered in the order they were
 //! scheduled (FIFO), which keeps simulations deterministic without
 //! requiring the event type to be ordered.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! The queue is a hand-rolled `Vec`-backed binary min-heap rather than
+//! `std::collections::BinaryHeap`: the comparator is inlined on the
+//! `(time, seq)` key pair (no `Ord` trait dispatch, no `Reverse`
+//! wrappers), the backing storage is reused across [`Engine::clear`],
+//! and the batch primitives ([`Engine::pop_batch`],
+//! [`Engine::drain_until`]) let driver loops dispatch same-instant
+//! bursts without re-checking the deadline per event or building
+//! intermediate tuples. This queue is the hottest structure in the
+//! whole simulation — every frame, timer, CPU completion, and client
+//! arrival passes through it.
 
 use crate::time::{SimDuration, SimTime};
 
@@ -34,7 +42,7 @@ use crate::time::{SimDuration, SimTime};
 pub struct Engine<E> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Scheduled<E>>,
+    heap: Vec<Scheduled<E>>,
     dispatched: u64,
 }
 
@@ -45,53 +53,46 @@ struct Scheduled<E> {
     event: E,
 }
 
-// Reverse ordering so the BinaryHeap (a max-heap) pops the earliest event;
-// ties broken by ascending sequence number for FIFO delivery.
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> Scheduled<E> {
+    /// Min-heap priority: earlier time first, ties broken by insertion
+    /// order so simultaneous events stay FIFO.
+    #[inline(always)]
+    fn before(&self, other: &Self) -> bool {
+        self.at < other.at || (self.at == other.at && self.seq < other.seq)
     }
 }
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Scheduled<E> {}
 
 impl<E> Engine<E> {
     /// Creates an empty engine with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
+        Engine::with_capacity(0)
+    }
+
+    /// Creates an empty engine with pre-allocated queue storage, so the
+    /// first burst of scheduling does not reallocate.
+    pub fn with_capacity(capacity: usize) -> Self {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            heap: Vec::with_capacity(capacity),
             dispatched: 0,
         }
     }
 
     /// The current simulated time.
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
     /// The number of events queued but not yet delivered.
+    #[inline]
     pub fn pending(&self) -> usize {
         self.heap.len()
     }
 
     /// Total events delivered so far.
+    #[inline]
     pub fn dispatched(&self) -> u64 {
         self.dispatched
     }
@@ -110,22 +111,25 @@ impl<E> Engine<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, event });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Schedules `event` after a delay relative to the current time.
+    #[inline]
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
         self.schedule_at(self.now + delay, event);
     }
 
     /// Timestamp of the next event, if any.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.heap.first().map(|s| s.at)
     }
 
     /// Removes and returns the next event, advancing the clock to its
     /// timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
+        let s = self.pop_root()?;
         debug_assert!(s.at >= self.now);
         self.now = s.at;
         self.dispatched += 1;
@@ -150,8 +154,8 @@ impl<E> Engine<E> {
     /// assert_eq!(engine.pending(), 1);
     /// ```
     pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
-        match self.peek_time() {
-            Some(t) if t <= deadline => self.pop(),
+        match self.heap.first() {
+            Some(s) if s.at <= deadline => self.pop(),
             _ => {
                 if self.now < deadline {
                     self.now = deadline;
@@ -161,9 +165,111 @@ impl<E> Engine<E> {
         }
     }
 
-    /// Discards all queued events without delivering them.
+    /// Pops the entire burst of events sharing the earliest timestamp
+    /// into `buf` (appended in FIFO order), advances the clock to that
+    /// instant, and returns it. Returns `None` (leaving `buf` untouched)
+    /// when the queue is empty.
+    ///
+    /// ```
+    /// use simnet::{Engine, SimTime};
+    ///
+    /// let mut engine = Engine::new();
+    /// engine.schedule_at(SimTime::from_secs(1), "a");
+    /// engine.schedule_at(SimTime::from_secs(1), "b");
+    /// engine.schedule_at(SimTime::from_secs(2), "c");
+    /// let mut burst = Vec::new();
+    /// assert_eq!(engine.pop_batch(&mut burst), Some(SimTime::from_secs(1)));
+    /// assert_eq!(burst, ["a", "b"]);
+    /// ```
+    pub fn pop_batch(&mut self, buf: &mut Vec<E>) -> Option<SimTime> {
+        let t = self.peek_time()?;
+        while let Some(s) = self.heap.first() {
+            if s.at != t {
+                break;
+            }
+            let s = self.pop_root().expect("peeked root exists");
+            self.dispatched += 1;
+            buf.push(s.event);
+        }
+        self.now = t;
+        Some(t)
+    }
+
+    /// Dispatches every event up to and including `deadline` straight to
+    /// `f`, advancing the clock through each timestamp and leaving it at
+    /// `deadline`. Equivalent to the `pop_before` loop, without the
+    /// per-event deadline re-check and `Option<(SimTime, E)>` plumbing.
+    ///
+    /// `f` must not schedule into the engine (it does not have access);
+    /// use this for terminal dispatch such as draining into a recorder.
+    pub fn drain_until<F: FnMut(SimTime, E)>(&mut self, deadline: SimTime, mut f: F) {
+        while let Some(s) = self.heap.first() {
+            if s.at > deadline {
+                break;
+            }
+            let s = self.pop_root().expect("peeked root exists");
+            self.now = s.at;
+            self.dispatched += 1;
+            f(s.at, s.event);
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Discards all queued events without delivering them. The backing
+    /// allocation is retained for reuse.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Removes the minimum element, restoring the heap property.
+    #[inline]
+    fn pop_root(&mut self) -> Option<Scheduled<E>> {
+        let len = self.heap.len();
+        if len == 0 {
+            return None;
+        }
+        let root = self.heap.swap_remove(0);
+        if self.heap.len() > 1 {
+            self.sift_down(0);
+        }
+        Some(root)
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            if self.heap[idx].before(&self.heap[parent]) {
+                self.heap.swap(idx, parent);
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut idx: usize) {
+        let len = self.heap.len();
+        loop {
+            let left = 2 * idx + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let mut smallest = left;
+            if right < len && self.heap[right].before(&self.heap[left]) {
+                smallest = right;
+            }
+            if self.heap[smallest].before(&self.heap[idx]) {
+                self.heap.swap(idx, smallest);
+                idx = smallest;
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -241,5 +347,60 @@ mod tests {
         assert_eq!(e.dispatched(), 1);
         e.pop();
         assert_eq!(e.dispatched(), 2);
+    }
+
+    #[test]
+    fn pop_batch_takes_exactly_the_earliest_instant() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(2), 20);
+        e.schedule_at(SimTime::from_secs(1), 10);
+        e.schedule_at(SimTime::from_secs(1), 11);
+        e.schedule_at(SimTime::from_secs(1), 12);
+        let mut burst = Vec::new();
+        assert_eq!(e.pop_batch(&mut burst), Some(SimTime::from_secs(1)));
+        assert_eq!(burst, [10, 11, 12]);
+        assert_eq!(e.now(), SimTime::from_secs(1));
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.dispatched(), 3);
+        burst.clear();
+        assert_eq!(e.pop_batch(&mut burst), Some(SimTime::from_secs(2)));
+        assert_eq!(burst, [20]);
+        assert_eq!(e.pop_batch(&mut burst), None);
+    }
+
+    #[test]
+    fn drain_until_matches_pop_before_loop() {
+        let build = || {
+            let mut e = Engine::new();
+            for i in 0u64..50 {
+                e.schedule_at(SimTime::from_nanos((i * 7) % 13), i);
+            }
+            e
+        };
+        let mut via_pop = Vec::new();
+        let mut a = build();
+        let deadline = SimTime::from_nanos(9);
+        while let Some((t, ev)) = a.pop_before(deadline) {
+            via_pop.push((t, ev));
+        }
+        let mut via_drain = Vec::new();
+        let mut b = build();
+        b.drain_until(deadline, |t, ev| via_drain.push((t, ev)));
+        assert_eq!(via_pop, via_drain);
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.pending(), b.pending());
+        assert_eq!(a.dispatched(), b.dispatched());
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut e = Engine::with_capacity(64);
+        for i in 0..40 {
+            e.schedule_at(SimTime::from_secs(i), i);
+        }
+        let cap = e.heap.capacity();
+        e.clear();
+        assert_eq!(e.pending(), 0);
+        assert!(e.heap.capacity() >= cap);
     }
 }

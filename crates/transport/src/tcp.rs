@@ -244,6 +244,10 @@ pub struct TcpStack<M> {
     app_receiving: bool,
     conns: BTreeMap<NodeId, Vec<Conn<M>>>,
     parked: Vec<(NodeId, MsgRec<M>)>,
+    /// Scratch for assembling in-order deliveries in `process_data`;
+    /// kept on the stack so steady-state receive reuses its capacity
+    /// instead of allocating a fresh buffer per data segment.
+    delivery: Vec<MsgRec<M>>,
     stats: TcpStats,
 }
 
@@ -261,6 +265,7 @@ impl<M: Clone> TcpStack<M> {
             app_receiving: true,
             conns: BTreeMap::new(),
             parked: Vec::new(),
+            delivery: Vec::new(),
             stats: TcpStats::default(),
         }
     }
@@ -609,9 +614,11 @@ impl<M: Clone> TcpStack<M> {
             }
         }
 
-        // Deliver completed messages in stream order.
+        // Deliver completed messages in stream order (through the
+        // reusable scratch buffer).
         let mut corrupted = false;
-        let mut ready: Vec<MsgRec<M>> = Vec::new();
+        let mut ready = std::mem::take(&mut self.delivery);
+        debug_assert!(ready.is_empty());
         let ack_now;
         {
             let c = self.conn_mut(peer, conn).expect("conn exists");
@@ -630,13 +637,14 @@ impl<M: Clone> TcpStack<M> {
             }
             ack_now = c.rcv_next;
         }
-        for rec in ready {
+        for rec in ready.drain(..) {
             if self.app_receiving {
                 self.deliver(now, peer, rec, out);
             } else {
                 self.parked.push((peer, rec));
             }
         }
+        self.delivery = ready;
         if corrupted {
             // Framing is unrecoverable: the length prefix read from the
             // stream is garbage. Reset the connection.

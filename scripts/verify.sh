@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-2 verification: release build, full test suite, and a golden
+# diff of the repro harness.
+#
+# The golden check runs `repro -- table1 --small --timing` with
+# `--jobs 0` (all cores) and diffs stdout against the checked-in
+# sequential capture, so it verifies both the harness output and the
+# byte-identity of the parallel runner in one step. `--timing` output
+# goes to stderr and BENCH_repro.json, which this script preserves.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test -q
+
+echo "== repro table1 --small --timing vs golden"
+tmp_out=$(mktemp)
+tmp_json=$(mktemp)
+had_json=0
+if [ -f BENCH_repro.json ]; then
+    cp BENCH_repro.json "$tmp_json"
+    had_json=1
+fi
+restore() {
+    rm -f "$tmp_out"
+    if [ "$had_json" -eq 1 ]; then
+        mv "$tmp_json" BENCH_repro.json
+    else
+        rm -f "$tmp_json" BENCH_repro.json
+    fi
+}
+trap restore EXIT
+
+cargo run --release -q -p bench --bin repro -- table1 --small --timing --jobs 0 >"$tmp_out"
+diff -u scripts/golden_table1_small.txt "$tmp_out"
+
+echo "verify: OK"

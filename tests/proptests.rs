@@ -34,6 +34,49 @@ proptest! {
         prop_assert_eq!(engine.pending(), 0);
     }
 
+    /// The batch primitives agree with the one-at-a-time `pop` loop:
+    /// `pop_batch` yields exactly one instant per call and `drain_until`
+    /// dispatches the same `(time, event)` sequence, so same-instant
+    /// events stay FIFO through either fast path.
+    #[test]
+    fn engine_batch_primitives_preserve_fifo(
+        times in prop::collection::vec(0u64..40, 1..200),
+        deadline in 0u64..50,
+    ) {
+        // The tiny timestamp range forces heavy same-instant collisions.
+        let mut reference = Engine::new();
+        let mut batched = Engine::new();
+        let mut drained = Engine::new();
+        for (i, t) in times.iter().enumerate() {
+            let at = SimTime::from_nanos(*t);
+            reference.schedule_at(at, i);
+            batched.schedule_at(at, i);
+            drained.schedule_at(at, i);
+        }
+        let mut expect = Vec::new();
+        while let Some((t, i)) = reference.pop() {
+            expect.push((t, i));
+        }
+        // pop_batch: each call appends one instant's burst in FIFO order.
+        let mut via_batch = Vec::new();
+        let mut burst = Vec::new();
+        while let Some(t) = batched.pop_batch(&mut burst) {
+            for i in burst.drain(..) {
+                via_batch.push((t, i));
+            }
+        }
+        prop_assert_eq!(&via_batch, &expect);
+        prop_assert_eq!(batched.pending(), 0);
+        // drain_until: identical prefix up to the deadline, rest queued.
+        let cut = SimTime::from_nanos(deadline);
+        let mut via_drain = Vec::new();
+        drained.drain_until(cut, |t, i| via_drain.push((t, i)));
+        let head: Vec<_> = expect.iter().copied().filter(|(t, _)| *t <= cut).collect();
+        prop_assert_eq!(&via_drain, &head);
+        prop_assert_eq!(drained.pending(), expect.len() - via_drain.len());
+        prop_assert_eq!(drained.now(), cut, "clock must rest at the deadline");
+    }
+
     /// Bucketed throughput conserves the event count.
     #[test]
     fn recorder_conserves_events(stamps in prop::collection::vec(0u64..30_000_000_000u64, 0..500)) {
