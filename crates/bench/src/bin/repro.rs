@@ -19,8 +19,16 @@
 //! byte-identical for any job count.
 //!
 //! `--timing` reports wall-clock, events dispatched, and events/second
-//! per target on stderr and writes `BENCH_repro.json` at the repo root;
-//! stdout is unchanged.
+//! per target on stderr and writes `BENCH_repro.json` at the repo root
+//! (appending a compact history entry per run); stdout is unchanged.
+//!
+//! `--trace <out.json>` (timeline targets `fig2`–`fig5` only) reruns
+//! the target with structured tracing on and writes a Chrome-trace JSON
+//! file loadable in Perfetto / `chrome://tracing`; the file is
+//! byte-identical for a given seed, independent of `--jobs`.
+//! `--trace-jsonl <out.jsonl>` writes the same events as a JSONL event
+//! log. `--metrics` prints each traced run's metrics summary to stdout
+//! after the figure text.
 
 use std::env;
 use std::fmt::Write as _;
@@ -28,7 +36,8 @@ use std::time::Instant;
 
 use experiments::figures::{
     ablation_heartbeat, ablation_membership, build_profiles, crossover, fig10, fig2, fig3, fig4,
-    fig5, fig6, fig7, fig8, fig9, off_by_n_summary, table1, table2, table3, REPRO_SEED,
+    fig5, fig6, fig7, fig8, fig9, off_by_n_summary, table1, table2, table3, traced_timeline,
+    REPRO_SEED,
 };
 use experiments::phase2::RunScale;
 use experiments::{effective_jobs, events_dispatched_total};
@@ -51,9 +60,44 @@ impl Timing {
     }
 }
 
+/// Pulls the one-line entries out of an existing `"history": [...]`
+/// array (string-level: the file is our own output, no JSON parser in
+/// the tree).
+fn extract_history(old: &str) -> Vec<String> {
+    let Some(start) = old.find("\"history\": [") else {
+        return Vec::new();
+    };
+    let rest = &old[start + "\"history\": [".len()..];
+    let Some(end) = rest.find(']') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{'))
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect()
+}
+
 fn write_bench_json(path: &str, scale: RunScale, seed: u64, jobs: usize, timings: &[Timing]) {
     let total_wall: f64 = timings.iter().map(|t| t.wall_s).sum();
     let total_events: u64 = timings.iter().map(|t| t.events).sum();
+    let mut history = std::fs::read_to_string(path)
+        .map(|old| extract_history(&old))
+        .unwrap_or_default();
+    history.push(format!(
+        "{{\"scale\": \"{}\", \"seed\": {seed}, \"jobs\": {jobs}, \"targets\": {}, \"total_wall_s\": {total_wall:.3}, \"total_events\": {total_events}}}",
+        match scale {
+            RunScale::Paper => "paper",
+            RunScale::Small => "small",
+        },
+        timings.len(),
+    ));
+    // Keep the file bounded: the last 20 runs are plenty of history.
+    if history.len() > 20 {
+        let drop = history.len() - 20;
+        history.drain(..drop);
+    }
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
@@ -81,6 +125,12 @@ fn write_bench_json(path: &str, scale: RunScale, seed: u64, jobs: usize, timings
         );
         json.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  ],\n  \"history\": [\n");
+    for (i, h) in history.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(h);
+        json.push_str(if i + 1 < history.len() { ",\n" } else { "\n" });
+    }
     json.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("warning: could not write {path}: {e}");
@@ -94,10 +144,32 @@ fn main() {
     let mut seed = REPRO_SEED;
     let mut jobs_arg = 1usize;
     let mut timing = false;
+    let mut trace_path: Option<String> = None;
+    let mut jsonl_path: Option<String> = None;
+    let mut metrics = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--small" => scale = RunScale::Small,
+            "--trace" => {
+                trace_path = match it.next() {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--trace needs an output path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--trace-jsonl" => {
+                jsonl_path = match it.next() {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--trace-jsonl needs an output path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--metrics" => metrics = true,
             "--seed" => {
                 seed = match it.next().and_then(|s| s.parse().ok()) {
                     Some(n) => n,
@@ -125,6 +197,48 @@ fn main() {
         }
     }
     let jobs = if jobs_arg == 1 { 1 } else { effective_jobs(jobs_arg) };
+
+    // Traced mode: rerun the target with the sink on and export.
+    if trace_path.is_some() || jsonl_path.is_some() || metrics {
+        match traced_timeline(&target, scale, seed, jobs) {
+            Some((text, runs)) => {
+                println!("{text}");
+                if let Some(p) = &trace_path {
+                    let json = telemetry::chrome_trace_json(&runs);
+                    match std::fs::write(p, &json) {
+                        Ok(()) => eprintln!(
+                            "wrote {p}: {} events across {} runs (open in Perfetto or chrome://tracing)",
+                            runs.iter().map(|r| r.events.len()).sum::<usize>(),
+                            runs.len()
+                        ),
+                        Err(e) => {
+                            eprintln!("could not write {p}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                if let Some(p) = &jsonl_path {
+                    if let Err(e) = std::fs::write(p, telemetry::jsonl_log(&runs)) {
+                        eprintln!("could not write {p}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("wrote {p}");
+                }
+                if metrics {
+                    for r in &runs {
+                        println!("{}", r.metrics.text_summary(&r.label));
+                    }
+                }
+                return;
+            }
+            None => {
+                eprintln!(
+                    "warning: --trace/--metrics only applies to the timeline targets \
+                     fig2..fig5; running {target} untraced"
+                );
+            }
+        }
+    }
 
     let mut timings: Vec<Timing> = Vec::new();
     let mut timed = |name: &str, f: &mut dyn FnMut()| {

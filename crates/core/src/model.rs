@@ -124,8 +124,8 @@ mod tests {
         };
         let tn = 500.0;
         // W = 10/1000 = 0.01 → AT = 0.99·500 = 495, AA = 0.99.
-        assert!((average_throughput(tn, &[b.clone()]) - 495.0).abs() < 1e-9);
-        assert!((average_availability(tn, &[b.clone()]) - 0.99).abs() < 1e-12);
+        assert!((average_throughput(tn, std::slice::from_ref(&b)) - 495.0).abs() < 1e-9);
+        assert!((average_availability(tn, std::slice::from_ref(&b)) - 0.99).abs() < 1e-12);
         assert!((b.unavailability(tn) - 0.01).abs() < 1e-12);
     }
 
@@ -139,7 +139,7 @@ mod tests {
         };
         let tn = 500.0;
         // AT = 0.99·500 + (10/1000)·250 = 495 + 2.5
-        assert!((average_throughput(tn, &[b.clone()]) - 497.5).abs() < 1e-9);
+        assert!((average_throughput(tn, std::slice::from_ref(&b)) - 497.5).abs() < 1e-9);
         assert!((b.unavailability(tn) - 0.005).abs() < 1e-12);
     }
 

@@ -40,6 +40,8 @@ pub struct ClusterConfig {
     pub prewarm: bool,
     /// Delay before the Mendosus daemon restarts a dead process.
     pub restart_delay: SimDuration,
+    /// Structured tracing (off by default; near-free when off).
+    pub trace: telemetry::TraceConfig,
 }
 
 impl ClusterConfig {
@@ -63,6 +65,7 @@ impl ClusterConfig {
             rate: version.paper_throughput() * 1.06,
             prewarm: true,
             restart_delay: SimDuration::from_secs(3),
+            trace: telemetry::TraceConfig::OFF,
         }
     }
 
@@ -183,6 +186,9 @@ pub struct ClusterSim {
     membership_log: Vec<(SimTime, NodeId, usize)>,
     process_log: Vec<(SimTime, NodeId, ProcEvent)>,
     last_members: Vec<usize>,
+    sink: telemetry::TraceSink,
+    /// Sampled in-flight requests: id → (issue time, target node).
+    traced_requests: std::collections::BTreeMap<u64, (SimTime, usize)>,
 }
 
 impl Drop for ClusterSim {
@@ -241,6 +247,13 @@ impl ClusterSim {
         let first = clients.first_arrival(SimTime::ZERO);
         engine.schedule_at(first, Ev::Client(ClientEvent::Arrival));
 
+        let sink = telemetry::TraceSink::new(config.trace);
+        if sink.enabled() {
+            for slot in &mut nodes {
+                slot.sub.set_trace(true);
+                slot.press.set_trace(true);
+            }
+        }
         let mut sim = ClusterSim {
             last_members: vec![0; n],
             config,
@@ -251,6 +264,8 @@ impl ClusterSim {
             actions,
             membership_log: Vec::new(),
             process_log: Vec::new(),
+            sink,
+            traced_requests: std::collections::BTreeMap::new(),
         };
         // Cold-boot every node.
         let mut work = VecDeque::new();
@@ -351,6 +366,53 @@ impl ClusterSim {
         self.clients.mean_throughput(self.engine.now(), t0, t1)
     }
 
+    /// Whether structured tracing is live for this run.
+    pub fn trace_enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Drains the buffered trace events (empty when tracing is off).
+    pub fn take_trace(&mut self) -> Vec<telemetry::TraceEvent> {
+        self.sink.take()
+    }
+
+    /// Snapshots every layer's counters and gauges into one registry:
+    /// transport stats, PRESS behaviour counters, per-node CPU busy
+    /// fractions, client outcome tallies and the current splinter count
+    /// (distinct membership views among running nodes).
+    pub fn metrics_snapshot(&self) -> telemetry::MetricsRegistry {
+        let mut reg = telemetry::MetricsRegistry::new();
+        let now = self.engine.now();
+        for (i, slot) in self.nodes.iter().enumerate() {
+            slot.sub.export_metrics(&mut reg);
+            reg.gauge_set(
+                &format!("cpu.busy_fraction.node{i}"),
+                slot.cpu.utilization(now),
+            );
+            let s = slot.press.stats();
+            reg.counter_add("press.served_local", s.served_local);
+            reg.counter_add("press.served_remote", s.served_remote);
+            reg.counter_add("press.served_disk", s.served_disk);
+            reg.counter_add("press.dropped_admission", s.dropped_admission);
+            reg.counter_add("press.dropped_deferred", s.dropped_deferred);
+            reg.counter_add("press.efault_drops", s.efault_drops);
+            reg.counter_add("press.forward_timeouts", s.forward_timeouts);
+            reg.counter_add("press.pin_cache_skips", s.pin_cache_skips);
+            reg.counter_add("press.exclusions", s.exclusions);
+            reg.counter_add("press.rejoined", s.rejoined);
+            reg.counter_add("press.merges", s.merges);
+        }
+        self.clients.export_metrics(&mut reg);
+        let views: std::collections::BTreeSet<Vec<usize>> = self
+            .nodes
+            .iter()
+            .filter(|s| s.running)
+            .map(|s| s.press.members().iter().map(|n| n.0).collect())
+            .collect();
+        reg.gauge_set("cluster.splinters", views.len() as f64);
+        reg
+    }
+
     // ------------------------------------------------------------------
     // Event handling
     // ------------------------------------------------------------------
@@ -378,36 +440,100 @@ impl ClusterSim {
             Ev::Reply { node, gen, req_id } => {
                 if self.nodes[node].running && self.nodes[node].gen == gen {
                     self.clients.complete(now, req_id);
+                    if let Some((issued, target)) = self.traced_requests.remove(&req_id) {
+                        self.sink.emit(
+                            telemetry::TraceEvent::span(
+                                "request",
+                                "client",
+                                target as u32,
+                                issued,
+                                now.saturating_since(issued),
+                            )
+                            .arg_u64("req_id", req_id),
+                        );
+                    }
                 }
             }
             Ev::Client(ClientEvent::Arrival) => {
                 let (req, target, next) = self.clients.arrive(now);
                 self.engine.schedule_at(next, Ev::Client(ClientEvent::Arrival));
+                let sample = self.config.trace.request_sample;
+                let traced = self.sink.enabled() && sample != 0 && req.id % sample == 0;
                 let slot = &self.nodes[target.0];
                 if !self.fabric.node_up(target) || slot.frozen {
                     // Machine unresponsive: SYN goes nowhere.
                     self.clients.connect_failed();
+                    if traced {
+                        self.sink.emit(
+                            telemetry::TraceEvent::instant(
+                                "request.conn_failed",
+                                "client",
+                                telemetry::TID_CLIENTS,
+                                now,
+                            )
+                            .arg_u64("req_id", req.id)
+                            .arg_u64("node", target.0 as u64),
+                        );
+                    }
                 } else if !slot.running {
                     // Machine up, process dead: refused immediately.
                     self.clients.refused();
+                    if traced {
+                        self.sink.emit(
+                            telemetry::TraceEvent::instant(
+                                "request.refused",
+                                "client",
+                                telemetry::TID_CLIENTS,
+                                now,
+                            )
+                            .arg_u64("req_id", req.id)
+                            .arg_u64("node", target.0 as u64),
+                        );
+                    }
                 } else if slot.hung {
                     // The kernel accepts; the application never reads.
+                    if traced {
+                        self.traced_requests.insert(req.id, (now, target.0));
+                    }
                     let deadline = self.clients.accepted(now, req.id);
                     self.engine
                         .schedule_at(deadline, Ev::Client(ClientEvent::Deadline(req.id)));
                     self.nodes[target.0].freezer.push(Work::Client(req));
                 } else {
+                    if traced {
+                        self.traced_requests.insert(req.id, (now, target.0));
+                    }
                     work.push_back((target.0, Work::Client(req)));
                 }
             }
             Ev::Client(ClientEvent::Deadline(id)) => {
                 self.clients.deadline(id);
+                if let Some((issued, target)) = self.traced_requests.remove(&id) {
+                    self.sink.emit(
+                        telemetry::TraceEvent::instant(
+                            "request.timeout",
+                            "client",
+                            target as u32,
+                            now,
+                        )
+                        .arg_u64("req_id", id)
+                        .arg_u64("waited_us", now.saturating_since(issued).as_nanos() / 1_000),
+                    );
+                }
             }
             Ev::ProcessRestart { node, gen } => {
                 let slot = &mut self.nodes[node];
                 if slot.gen == gen && !slot.running {
                     slot.running = true;
                     self.process_log.push((now, NodeId(node), ProcEvent::Restart));
+                    self.sink.emit_with(|| {
+                        telemetry::TraceEvent::instant(
+                            "process.restart",
+                            "proc",
+                            node as u32,
+                            now,
+                        )
+                    });
                     work.push_back((node, Work::Start { cold: false }));
                 }
             }
@@ -423,6 +549,44 @@ impl ClusterSim {
         let spec = &action.spec;
         let node = spec.node;
         let inject = action.phase == FaultPhase::Inject;
+        if self.sink.enabled() {
+            if inject {
+                self.sink.emit(
+                    telemetry::TraceEvent::instant(
+                        "fault.inject",
+                        "fault",
+                        telemetry::TID_CLUSTER,
+                        now,
+                    )
+                    .arg_str("kind", spec.kind.to_string())
+                    .arg_u64("node", node.0 as u64),
+                );
+            } else {
+                // One span covering the fault's whole active window,
+                // plus the recovery instant.
+                self.sink.emit(
+                    telemetry::TraceEvent::span(
+                        "fault.active",
+                        "fault",
+                        telemetry::TID_CLUSTER,
+                        spec.at,
+                        now.saturating_since(spec.at),
+                    )
+                    .arg_str("kind", spec.kind.to_string())
+                    .arg_u64("node", node.0 as u64),
+                );
+                self.sink.emit(
+                    telemetry::TraceEvent::instant(
+                        "fault.recover",
+                        "fault",
+                        telemetry::TID_CLUSTER,
+                        now,
+                    )
+                    .arg_str("kind", spec.kind.to_string())
+                    .arg_u64("node", node.0 as u64),
+                );
+            }
+        }
         match spec.kind {
             FaultKind::LinkDown => self.fabric.set_link_up(node, !inject),
             FaultKind::SwitchDown => self.fabric.set_switch_up(!inject),
@@ -510,6 +674,8 @@ impl ClusterSim {
         slot.freezer.clear();
         slot.sub.restart(now);
         self.process_log.push((now, NodeId(node), ProcEvent::Exit));
+        self.sink
+            .emit_with(|| telemetry::TraceEvent::instant("process.exit", "proc", node as u32, now));
         if let Some(delay) = restart_after {
             let gen = slot.gen;
             self.engine
@@ -563,7 +729,9 @@ impl ClusterSim {
                     Work::Upcall(u) => {
                         if slot.running && !slot.frozen {
                             if slot.hung {
-                                drop(ctx);
+                                // Ends ctx's borrow of the slot so the
+                                // freezer can take the work item.
+                                let _ = ctx;
                                 slot.freezer.push(Work::Upcall(u));
                             } else {
                                 slot.press.on_upcall(&mut ctx, u);
@@ -626,6 +794,9 @@ impl ClusterSim {
                 Effect::Upcall(u) => {
                     work.push_back((i, Work::Upcall(u)));
                 }
+                Effect::Trace(ev) => {
+                    self.sink.emit(ev);
+                }
             }
         }
         for a in app {
@@ -655,6 +826,16 @@ impl ClusterSim {
         if m != self.last_members[i] {
             self.last_members[i] = m;
             self.membership_log.push((now, NodeId(i), m));
+            self.sink.emit_with(|| {
+                telemetry::TraceEvent::instant(
+                    "membership.size",
+                    "cluster",
+                    telemetry::TID_CLUSTER,
+                    now,
+                )
+                .arg_u64("node", i as u64)
+                .arg_u64("members", m as u64)
+            });
         }
     }
 }

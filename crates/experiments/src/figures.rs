@@ -13,7 +13,7 @@ use simnet::fabric::NodeId;
 use simnet::SimTime;
 
 use crate::cluster::{ClusterConfig, ClusterSim};
-use crate::phase1::{run_fault_experiment, FaultRunResult, FaultScenario};
+use crate::phase1::{run_fault_experiment, run_fault_experiment_traced, FaultRunResult, FaultScenario};
 use crate::phase2::{behaviors_for_load, evaluate, version_profiles, RunScale, VersionProfile};
 use crate::render::{bar, sparkline, table};
 use crate::runner::run_indexed;
@@ -218,6 +218,49 @@ fn indent(s: &str, n: usize) -> String {
     s.lines().map(|l| format!("{pad}{l}\n")).collect()
 }
 
+/// A timeline figure's header, `(version, fault)` run list, and
+/// footnote.
+type TimelineSpec = (&'static str, Vec<(PressVersion, FaultKind)>, &'static str);
+
+/// The runs behind each timeline figure (`fig2`–`fig5`), with the
+/// figure's header and footnote. `None` for non-timeline targets.
+fn timeline_spec(target: &str) -> Option<TimelineSpec> {
+    match target {
+        "fig2" => Some((
+            "Figure 2 — transient link failure (intra-cluster link of node 3)",
+            [PressVersion::Tcp, PressVersion::TcpHb, PressVersion::Via5]
+                .map(|v| (v, FaultKind::LinkDown))
+                .to_vec(),
+            "(VIA-PRESS-0 and VIA-PRESS-3 behave essentially like VIA-PRESS-5, as in the paper.)\n",
+        )),
+        "fig3" => Some((
+            "Figure 3 — node crash (hard reboot of node 3)",
+            [PressVersion::Tcp, PressVersion::TcpHb, PressVersion::Via5]
+                .map(|v| (v, FaultKind::NodeCrash))
+                .to_vec(),
+            "",
+        )),
+        "fig4" => Some((
+            "Figure 4 — memory exhaustion (kernel allocation for TCP; pinnable memory for VIA-5)",
+            vec![
+                (PressVersion::Tcp, FaultKind::KernelAllocFail),
+                (PressVersion::TcpHb, FaultKind::KernelAllocFail),
+                (PressVersion::Via0, FaultKind::MemPinFail),
+                (PressVersion::Via5, FaultKind::MemPinFail),
+            ],
+            "(VIA versions pre-allocate, so kernel allocation faults do not touch them;\n only the zero-copy VIA-PRESS-5 is exposed to pinning exhaustion.)\n",
+        )),
+        "fig5" => Some((
+            "Figure 5 — NULL data pointer passed to a file-data send on node 3",
+            [PressVersion::Tcp, PressVersion::Via0, PressVersion::Via5]
+                .map(|v| (v, FaultKind::BadParamNull))
+                .to_vec(),
+            "",
+        )),
+        _ => None,
+    }
+}
+
 /// Runs the `(version, fault)` timelines of one figure in parallel and
 /// renders them in task order, so output is identical for any `jobs`.
 fn timeline_figure(
@@ -237,70 +280,66 @@ fn timeline_figure(
     out
 }
 
+fn timeline_figure_text(target: &str, scale: RunScale, seed: u64, jobs: usize) -> String {
+    let (header, runs, footer) = timeline_spec(target).expect("known timeline target");
+    let mut out = format!("{header}\n\n");
+    out.push_str(&timeline_figure(runs, scale, seed, jobs));
+    out.push_str(footer);
+    out
+}
+
+/// Traced variant of the timeline figures (`fig2`–`fig5`): the same
+/// rendered text, plus one [`telemetry::RunTrace`] per underlying run,
+/// in task order — so the bundle is byte-identical for any `jobs`.
+/// `None` when `target` has no traced timeline.
+pub fn traced_timeline(
+    target: &str,
+    scale: RunScale,
+    seed: u64,
+    jobs: usize,
+) -> Option<(String, Vec<telemetry::RunTrace>)> {
+    let (header, runs, footer) = timeline_spec(target)?;
+    let results = run_indexed(jobs, runs, |_i, (v, kind)| {
+        let config = match scale {
+            RunScale::Paper => ClusterConfig::fault_experiment(v),
+            RunScale::Small => ClusterConfig::small(v),
+        };
+        let scenario = match scale {
+            RunScale::Paper => FaultScenario::standard(kind, NodeId(3)),
+            RunScale::Small => FaultScenario::quick(kind, NodeId(3)),
+        };
+        run_fault_experiment_traced(config, scenario, seed)
+    });
+    let mut out = format!("{header}\n\n");
+    let mut traces = Vec::new();
+    for (r, t) in results {
+        out.push_str(&render_timeline(&r));
+        out.push('\n');
+        traces.push(t);
+    }
+    out.push_str(footer);
+    Some((out, traces))
+}
+
 /// Figure 2: throughput under a transient link failure.
 pub fn fig2(scale: RunScale, seed: u64, jobs: usize) -> String {
-    let mut out = String::from("Figure 2 — transient link failure (intra-cluster link of node 3)\n\n");
-    out.push_str(&timeline_figure(
-        [PressVersion::Tcp, PressVersion::TcpHb, PressVersion::Via5]
-            .map(|v| (v, FaultKind::LinkDown))
-            .to_vec(),
-        scale,
-        seed,
-        jobs,
-    ));
-    out.push_str(
-        "(VIA-PRESS-0 and VIA-PRESS-3 behave essentially like VIA-PRESS-5, as in the paper.)\n",
-    );
-    out
+    timeline_figure_text("fig2", scale, seed, jobs)
 }
 
 /// Figure 3: throughput under a node crash.
 pub fn fig3(scale: RunScale, seed: u64, jobs: usize) -> String {
-    let mut out = String::from("Figure 3 — node crash (hard reboot of node 3)\n\n");
-    out.push_str(&timeline_figure(
-        [PressVersion::Tcp, PressVersion::TcpHb, PressVersion::Via5]
-            .map(|v| (v, FaultKind::NodeCrash))
-            .to_vec(),
-        scale,
-        seed,
-        jobs,
-    ));
-    out
+    timeline_figure_text("fig3", scale, seed, jobs)
 }
 
 /// Figure 4: kernel memory exhaustion (TCP versions) and pinnable
 /// memory exhaustion (VIA-PRESS-5).
 pub fn fig4(scale: RunScale, seed: u64, jobs: usize) -> String {
-    let mut out = String::from(
-        "Figure 4 — memory exhaustion (kernel allocation for TCP; pinnable memory for VIA-5)\n\n",
-    );
-    out.push_str(&timeline_figure(
-        vec![
-            (PressVersion::Tcp, FaultKind::KernelAllocFail),
-            (PressVersion::TcpHb, FaultKind::KernelAllocFail),
-            (PressVersion::Via0, FaultKind::MemPinFail),
-            (PressVersion::Via5, FaultKind::MemPinFail),
-        ],
-        scale,
-        seed,
-        jobs,
-    ));
-    out.push_str("(VIA versions pre-allocate, so kernel allocation faults do not touch them;\n only the zero-copy VIA-PRESS-5 is exposed to pinning exhaustion.)\n");
-    out
+    timeline_figure_text("fig4", scale, seed, jobs)
 }
 
 /// Figure 5: NULL pointer passed to the send API.
 pub fn fig5(scale: RunScale, seed: u64, jobs: usize) -> String {
-    let mut out = String::from("Figure 5 — NULL data pointer passed to a file-data send on node 3\n\n");
-    out.push_str(&timeline_figure(
-        [PressVersion::Tcp, PressVersion::Via0, PressVersion::Via5]
-            .map(|v| (v, FaultKind::BadParamNull))
-            .to_vec(),
-        scale,
-        seed,
-        jobs,
-    ));
-    out
+    timeline_figure_text("fig5", scale, seed, jobs)
 }
 
 // ---------------------------------------------------------------------
@@ -632,57 +671,6 @@ pub fn off_by_n_summary(scale: RunScale, seed: u64, jobs: usize) -> String {
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn tables_render() {
-        let t2 = table2();
-        assert!(t2.contains("Node crash"));
-        assert!(t2.contains("stale memory handle"));
-        let t3 = table3(DAY);
-        assert!(t3.contains("6 months"));
-        assert!(t3.contains("3 minutes"));
-    }
-
-    #[test]
-    fn human_secs_is_sane() {
-        assert_eq!(human_secs(180.0), "3 minutes");
-        assert_eq!(human_secs(3600.0), "1 hour");
-        assert_eq!(human_secs(DAY), "1 days");
-        assert_eq!(human_secs(2.0 * WEEK), "2 weeks");
-        assert_eq!(human_secs(61.0 * DAY), "2 months");
-        assert_eq!(human_secs(365.0 * DAY), "1 year");
-    }
-
-    #[test]
-    fn timeline_figures_render_at_small_scale() {
-        let s = fig5(RunScale::Small, 5, 1);
-        assert!(s.contains("TCP-PRESS"));
-        assert!(s.contains("VIA-PRESS-0"));
-        assert!(s.contains("stage") || s.contains("no degraded stages"));
-    }
-
-    #[test]
-    fn figure_output_is_identical_across_job_counts() {
-        assert_eq!(
-            fig5(RunScale::Small, 5, 1),
-            fig5(RunScale::Small, 5, 3),
-            "parallel timeline figure must render byte-identically"
-        );
-    }
-
-    #[test]
-    fn profiles_are_identical_across_job_counts() {
-        let sequential = build_profiles(RunScale::Small, 5, 1);
-        let parallel = build_profiles(RunScale::Small, 5, 4);
-        assert_eq!(
-            sequential, parallel,
-            "profile building must be bit-identical for any job count"
-        );
-    }
-}
 
 // ---------------------------------------------------------------------
 // Ablations (extensions beyond the paper)
@@ -797,4 +785,56 @@ pub fn ablation_heartbeat(scale: RunScale, seed: u64, jobs: usize) -> String {
          beats are merely delayed (§6.2).\n",
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        let t2 = table2();
+        assert!(t2.contains("Node crash"));
+        assert!(t2.contains("stale memory handle"));
+        let t3 = table3(DAY);
+        assert!(t3.contains("6 months"));
+        assert!(t3.contains("3 minutes"));
+    }
+
+    #[test]
+    fn human_secs_is_sane() {
+        assert_eq!(human_secs(180.0), "3 minutes");
+        assert_eq!(human_secs(3600.0), "1 hour");
+        assert_eq!(human_secs(DAY), "1 days");
+        assert_eq!(human_secs(2.0 * WEEK), "2 weeks");
+        assert_eq!(human_secs(61.0 * DAY), "2 months");
+        assert_eq!(human_secs(365.0 * DAY), "1 year");
+    }
+
+    #[test]
+    fn timeline_figures_render_at_small_scale() {
+        let s = fig5(RunScale::Small, 5, 1);
+        assert!(s.contains("TCP-PRESS"));
+        assert!(s.contains("VIA-PRESS-0"));
+        assert!(s.contains("stage") || s.contains("no degraded stages"));
+    }
+
+    #[test]
+    fn figure_output_is_identical_across_job_counts() {
+        assert_eq!(
+            fig5(RunScale::Small, 5, 1),
+            fig5(RunScale::Small, 5, 3),
+            "parallel timeline figure must render byte-identically"
+        );
+    }
+
+    #[test]
+    fn profiles_are_identical_across_job_counts() {
+        let sequential = build_profiles(RunScale::Small, 5, 1);
+        let parallel = build_profiles(RunScale::Small, 5, 4);
+        assert_eq!(
+            sequential, parallel,
+            "profile building must be bit-identical for any job count"
+        );
+    }
 }

@@ -20,7 +20,10 @@ pub mod runner;
 
 pub use cluster::{events_dispatched_total, ClusterConfig, ClusterReport, ClusterSim};
 
-pub use phase1::{measure_warmup, run_fault_experiment, FaultRunResult, FaultScenario};
+pub use phase1::{
+    measure_warmup, run_fault_experiment, run_fault_experiment_traced, FaultRunResult,
+    FaultScenario,
+};
 pub use phase2::{
     behaviors_for_load, evaluate, version_profile, version_profiles, Phase2Result, RunScale,
     VersionProfile,

@@ -95,6 +95,106 @@ pub fn run_fault_experiment(
     scenario: FaultScenario,
     seed: u64,
 ) -> FaultRunResult {
+    run_fault_experiment_inner(config, scenario, seed).0
+}
+
+/// Runs one single-fault experiment with structured tracing on and
+/// returns the run's [`telemetry::RunTrace`] alongside the result: all
+/// emitted events, the derived stage A–E spans on the
+/// [`telemetry::TID_STAGES`] lane, named lanes for every node, and the
+/// final metrics snapshot.
+pub fn run_fault_experiment_traced(
+    mut config: ClusterConfig,
+    scenario: FaultScenario,
+    seed: u64,
+) -> (FaultRunResult, telemetry::RunTrace) {
+    if !config.trace.enabled {
+        config.trace = telemetry::TraceConfig::STANDARD;
+    }
+    let nodes = config.press.nodes;
+    let (result, mut sim) = run_fault_experiment_inner(config, scenario, seed);
+    let mut events = sim.take_trace();
+    events.extend(stage_spans(&result));
+    let metrics = sim.metrics_snapshot();
+    let mut threads: Vec<(u32, String)> =
+        (0..nodes).map(|i| (i as u32, format!("node{i}"))).collect();
+    threads.push((telemetry::TID_CLUSTER, "cluster".to_string()));
+    threads.push((telemetry::TID_CLIENTS, "clients".to_string()));
+    threads.push((telemetry::TID_STAGES, "stages".to_string()));
+    let label = format!(
+        "{} {} node{} seed{}",
+        result.version, result.fault.kind, result.fault.node.0, seed
+    );
+    (
+        result,
+        telemetry::RunTrace {
+            label,
+            threads,
+            events,
+            metrics,
+        },
+    )
+}
+
+/// Derives the seven-stage spans (the ones this run exhibits) from the
+/// markers, so the trace shows the A–G structure directly above the
+/// per-node lanes. Stage F/G (operator reset) never occur inside a
+/// single run.
+fn stage_spans(result: &FaultRunResult) -> Vec<telemetry::TraceEvent> {
+    let m = &result.markers;
+    let mut bounds: Vec<(&'static str, Stage, f64, f64)> = Vec::new();
+    match m.detected {
+        Some(d) => {
+            if d > m.fault {
+                bounds.push(("stage.A", Stage::A, m.fault, d));
+            }
+            let stab = m.stabilized.unwrap_or(d);
+            if stab > d {
+                bounds.push(("stage.B", Stage::B, d, stab));
+            }
+            if m.recovered > stab {
+                bounds.push(("stage.C", Stage::C, stab, m.recovered));
+            }
+        }
+        None => {
+            // Undetected fault: degraded from injection to repair.
+            if m.recovered > m.fault {
+                bounds.push(("stage.A", Stage::A, m.fault, m.recovered));
+            }
+        }
+    }
+    let restab = m.restabilized.unwrap_or(m.recovered);
+    if restab > m.recovered {
+        bounds.push(("stage.D", Stage::D, m.recovered, restab));
+    }
+    if m.end > restab {
+        bounds.push(("stage.E", Stage::E, restab, m.end));
+    }
+    let to_time = |s: f64| SimTime::from_nanos((s * 1e9) as u64);
+    bounds
+        .into_iter()
+        .map(|(name, stage, t0, t1)| {
+            telemetry::TraceEvent::span(
+                name,
+                "stage",
+                telemetry::TID_STAGES,
+                to_time(t0),
+                to_time(t1).saturating_since(to_time(t0)),
+            )
+            .arg_u64(
+                "throughput_rps",
+                result.stages.get(stage).throughput.max(0.0) as u64,
+            )
+            .arg_u64("tn_rps", result.tn.max(0.0) as u64)
+        })
+        .collect()
+}
+
+fn run_fault_experiment_inner(
+    config: ClusterConfig,
+    scenario: FaultScenario,
+    seed: u64,
+) -> (FaultRunResult, ClusterSim) {
     let version = config.version;
     let nodes = config.press.nodes;
     let fault = scenario.fault.clone();
@@ -150,16 +250,19 @@ pub fn run_fault_experiment(
     if !needs_operator_reset && e.throughput >= 0.95 * tn {
         stages.set(Stage::E, 0.0, 0.0);
     }
-    FaultRunResult {
-        version,
-        fault,
-        series,
-        report,
-        tn,
-        markers,
-        stages,
-        needs_operator_reset,
-    }
+    (
+        FaultRunResult {
+            version,
+            fault,
+            series,
+            report,
+            tn,
+            markers,
+            stages,
+            needs_operator_reset,
+        },
+        sim,
+    )
 }
 
 fn detection_time(report: &ClusterReport, _fault: &FaultSpec, fault_s: f64) -> Option<f64> {
@@ -202,7 +305,7 @@ fn recovery_time(report: &ClusterReport, fault: &FaultSpec, end_s: f64) -> f64 {
                 .iter()
                 .filter(|(t, _, e)| *e == ProcEvent::Restart && t.as_secs_f64() >= nominal)
                 .map(|(t, _, _)| t.as_secs_f64())
-                .last()
+                .next_back()
                 .unwrap_or(fault.at.as_secs_f64())
         }
         _ => nominal,

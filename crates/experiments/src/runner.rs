@@ -130,7 +130,11 @@ mod tests {
 
     #[test]
     fn effective_jobs_resolves_auto_and_caps() {
-        let cores = std::thread::available_parallelism().unwrap().get();
+        // Mirror effective_jobs' own fallback: a host that cannot report
+        // its parallelism should not fail the test.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         assert_eq!(effective_jobs(0), cores);
         assert_eq!(effective_jobs(1), 1);
         assert!(effective_jobs(usize::MAX) <= cores);

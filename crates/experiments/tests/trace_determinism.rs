@@ -1,0 +1,31 @@
+//! The trace exporters must be deterministic: for a fixed seed the
+//! exported bytes may not depend on the worker count, on re-runs, or on
+//! anything wall-clock. This is what makes `repro -- fig3 --trace`
+//! diffable and the Chrome-trace files safe to commit as goldens.
+
+use experiments::figures::traced_timeline;
+use experiments::phase2::RunScale;
+
+#[test]
+fn traced_fig3_is_byte_identical_across_job_counts() {
+    let (text1, runs1) =
+        traced_timeline("fig3", RunScale::Small, 2003, 1).expect("fig3 is a timeline target");
+    let (text4, runs4) =
+        traced_timeline("fig3", RunScale::Small, 2003, 4).expect("fig3 is a timeline target");
+    // Same rendered figure text...
+    assert_eq!(text1, text4);
+    // ...and byte-identical exporter output for every format.
+    let chrome1 = telemetry::chrome_trace_json(&runs1);
+    let chrome4 = telemetry::chrome_trace_json(&runs4);
+    assert_eq!(chrome1, chrome4);
+    assert_eq!(telemetry::jsonl_log(&runs1), telemetry::jsonl_log(&runs4));
+    let summaries = |runs: &[telemetry::RunTrace]| {
+        runs.iter()
+            .map(|r| r.metrics.text_summary(&r.label))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(summaries(&runs1), summaries(&runs4));
+    // The trace is substantial, not a trivially-equal empty file.
+    assert!(runs1.iter().map(|r| r.events.len()).sum::<usize>() > 100);
+    assert!(chrome1.len() > 10_000);
+}

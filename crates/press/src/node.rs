@@ -186,6 +186,7 @@ pub struct PressNode {
     stalled: Option<Stalled>,
     deferred: VecDeque<Deferred>,
     stats: NodeStats,
+    trace: bool,
 }
 
 impl PressNode {
@@ -214,7 +215,15 @@ impl PressNode {
             stalled: None,
             deferred: VecDeque::new(),
             stats: NodeStats::default(),
+            trace: false,
         }
+    }
+
+    /// Enables or disables structured trace emission; traced events are
+    /// appended to `ctx.fx` as [`Effect::Trace`] for the harness to
+    /// collect.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace = enabled;
     }
 
     /// This node's id.
@@ -599,6 +608,13 @@ impl PressNode {
         if let Some(succ) = self.ring_successor() {
             self.hb_seq += 1;
             let seq = self.hb_seq;
+            if self.trace {
+                ctx.fx.push(transport::Effect::Trace(
+                    telemetry::TraceEvent::instant("hb.beat", "press", self.id.0 as u32, ctx.now)
+                        .arg_u64("seq", seq)
+                        .arg_u64("succ", succ.0 as u64),
+                ));
+            }
             self.send_control(ctx, succ, MsgBody::Heartbeat { seq });
         }
         // Check the predecessor.
@@ -702,6 +718,18 @@ impl PressNode {
             return;
         }
         self.stats.exclusions += 1;
+        if self.trace {
+            ctx.fx.push(transport::Effect::Trace(
+                telemetry::TraceEvent::instant(
+                    "membership.exclude",
+                    "press",
+                    self.id.0 as u32,
+                    ctx.now,
+                )
+                .arg_u64("peer", peer.0 as u64)
+                .arg_u64("members_left", self.members.len() as u64),
+            ));
+        }
         self.directory.drop_node(peer);
         ctx.sub.close(peer);
         // Forwarded requests to the departed node will never answer.
@@ -927,6 +955,18 @@ impl PressNode {
                 self.rejoining = false;
                 self.joined = true;
                 self.stats.rejoined += 1;
+                if self.trace {
+                    ctx.fx.push(transport::Effect::Trace(
+                        telemetry::TraceEvent::instant(
+                            "press.rejoined",
+                            "press",
+                            self.id.0 as u32,
+                            ctx.now,
+                        )
+                        .arg_u64("via_peer", peer.0 as u64)
+                        .arg_u64("members", members.len() as u64),
+                    ));
+                }
                 // With the configuration in hand, reestablish with every
                 // member (§3): announce ourselves so each of them admits
                 // us and sends its caching information.
@@ -978,6 +1018,18 @@ impl PressNode {
                 }
                 if grew {
                     self.stats.merges += 1;
+                    if self.trace {
+                        ctx.fx.push(transport::Effect::Trace(
+                            telemetry::TraceEvent::instant(
+                                "press.merge",
+                                "press",
+                                self.id.0 as u32,
+                                ctx.now,
+                            )
+                            .arg_u64("via_peer", peer.0 as u64)
+                            .arg_u64("members", self.members.len() as u64),
+                        ));
+                    }
                     // Share caching information with the whole merged
                     // cluster so routing recovers immediately; the Arc'd
                     // summary is built once and shared by every copy.
@@ -1053,7 +1105,7 @@ impl PressNode {
 mod tests {
     use super::*;
     use transport::api::CleanInterposer;
-    use transport::{Effect, PinFailed};
+    use transport::PinFailed;
 
     /// A scriptable substrate: records sends, lets tests block peers or
     /// fail pin requests, and never touches a network.

@@ -217,6 +217,49 @@ mod tests {
     }
 
     #[test]
+    fn empty_recorder_yields_empty_or_zero_series() {
+        let rec = ThroughputRecorder::new(SimDuration::from_secs(1));
+        assert_eq!(rec.total(), 0);
+        // No time elapsed: no buckets at all.
+        assert!(rec.series(SimTime::ZERO).is_empty());
+        // Time elapsed but nothing recorded: all-zero buckets.
+        let s = rec.series(SimTime::from_secs(3));
+        assert_eq!(s.len(), 3);
+        assert!(s.points.iter().all(|&(_, v)| v == 0.0));
+    }
+
+    #[test]
+    fn record_on_exact_bucket_boundary_lands_in_upper_bucket() {
+        let mut rec = ThroughputRecorder::new(SimDuration::from_secs(1));
+        // t = 1.0 s is the first nanosecond of bucket 1, not the last of
+        // bucket 0 (buckets are half-open [i, i+1)).
+        rec.record(SimTime::from_secs(1));
+        rec.record(SimTime::from_nanos(999_999_999));
+        let s = rec.series(SimTime::from_secs(2));
+        let values: Vec<f64> = s.points.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, [1.0, 1.0]);
+    }
+
+    #[test]
+    fn series_end_truncates_but_never_loses_recorded_totals() {
+        let mut rec = ThroughputRecorder::new(SimDuration::from_secs(1));
+        for t in [0u64, 1, 2, 3, 4] {
+            rec.record(SimTime::from_secs(t));
+        }
+        // An end inside bucket 2 keeps only the two complete buckets.
+        let s = rec.series(SimTime::from_nanos(2_900_000_000));
+        assert_eq!(s.len(), 2);
+        // An end at an exact boundary keeps everything before it.
+        assert_eq!(rec.series(SimTime::from_secs(5)).len(), 5);
+        // Truncation is a view: the recorder still holds all samples.
+        assert_eq!(rec.total(), 5);
+        // An end past the last record pads zeros, not stale data.
+        let long = rec.series(SimTime::from_secs(8));
+        assert_eq!(long.len(), 8);
+        assert_eq!(long.points[7].1, 0.0);
+    }
+
+    #[test]
     fn rate_scales_with_bucket_width() {
         let mut rec = ThroughputRecorder::new(SimDuration::from_millis(500));
         rec.record(SimTime::from_nanos(100));

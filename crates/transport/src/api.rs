@@ -45,6 +45,17 @@ impl MsgClass {
     pub fn is_bulk(self) -> bool {
         matches!(self, MsgClass::FileData)
     }
+
+    /// Short stable name for trace attributes and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Forward => "forward",
+            MsgClass::FileData => "file-data",
+            MsgClass::CacheUpdate => "cache-update",
+            MsgClass::Heartbeat => "heartbeat",
+            MsgClass::Control => "control",
+        }
+    }
 }
 
 /// The (possibly corrupted) data-pointer argument of a send/receive call.
@@ -171,6 +182,19 @@ pub enum BreakReason {
     LocalClose,
 }
 
+impl BreakReason {
+    /// Short stable name for trace attributes and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakReason::NicError(_) => "nic-error",
+            BreakReason::RetransmitTimeout => "retransmit-timeout",
+            BreakReason::PeerReset => "peer-reset",
+            BreakReason::StreamCorrupt => "stream-corrupt",
+            BreakReason::LocalClose => "local-close",
+        }
+    }
+}
+
 /// Where a completion error was detected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorSite {
@@ -244,6 +268,11 @@ pub enum Effect<M> {
     ChargeCpu(SimDuration),
     /// Notify the application.
     Upcall(Upcall<M>),
+    /// Record a structured trace event. Only emitted after
+    /// [`Substrate::set_trace`] enabled tracing, so the fault-free
+    /// benchmark path never constructs one; the composition layer
+    /// forwards it to the run's [`telemetry::TraceSink`].
+    Trace(telemetry::TraceEvent),
 }
 
 /// Convenience alias: the buffer all transport entry points append
@@ -292,6 +321,7 @@ pub trait Substrate<M: Clone> {
     fn deregister_pages(&mut self, _now: SimTime, _pages: u32, _out: &mut Effects<M>) {}
 
     /// Sends one application message.
+    #[allow(clippy::too_many_arguments)]
     fn send(
         &mut self,
         now: SimTime,
@@ -338,6 +368,18 @@ pub trait Substrate<M: Clone> {
     /// The application process restarted: all endpoint state is lost.
     /// Peers discover this through resets on their next transmission.
     fn restart(&mut self, now: SimTime);
+
+    /// Enables or disables structured tracing. While enabled, the
+    /// transport appends [`Effect::Trace`] events (retransmissions,
+    /// aborts, descriptor errors, connection breaks...) alongside its
+    /// ordinary effects. Default: ignored (never traces).
+    fn set_trace(&mut self, _enabled: bool) {}
+
+    /// Dumps this endpoint's lifetime counters into a metrics
+    /// registry (names like `tcp.retransmissions`); counters from all
+    /// nodes of a cluster accumulate into the same keys. Default:
+    /// contributes nothing.
+    fn export_metrics(&self, _reg: &mut telemetry::MetricsRegistry) {}
 }
 
 #[cfg(test)]

@@ -249,6 +249,9 @@ pub struct TcpStack<M> {
     /// instead of allocating a fresh buffer per data segment.
     delivery: Vec<MsgRec<M>>,
     stats: TcpStats,
+    /// Structured-tracing switch; checked before any trace event is
+    /// even constructed so the disabled path costs one branch.
+    trace: bool,
 }
 
 impl<M: Clone> TcpStack<M> {
@@ -267,6 +270,7 @@ impl<M: Clone> TcpStack<M> {
             parked: Vec::new(),
             delivery: Vec::new(),
             stats: TcpStats::default(),
+            trace: false,
         }
     }
 
@@ -473,6 +477,7 @@ impl<M: Clone> TcpStack<M> {
     /// the break upstream.
     fn teardown(
         &mut self,
+        now: SimTime,
         peer: NodeId,
         conn: u64,
         reason: BreakReason,
@@ -494,6 +499,14 @@ impl<M: Clone> TcpStack<M> {
         if removed {
             if send_rst {
                 self.send_rst(peer, conn, out);
+            }
+            if self.trace {
+                out.push(Effect::Trace(
+                    telemetry::TraceEvent::instant("tcp.conn_break", "tcp", self.node.0 as u32, now)
+                        .arg_u64("peer", peer.0 as u64)
+                        .arg_u64("conn", conn)
+                        .arg_str("reason", reason.label()),
+                ));
             }
             out.push(Effect::Upcall(Upcall::ConnBroken { peer, reason }));
         }
@@ -649,7 +662,16 @@ impl<M: Clone> TcpStack<M> {
             // Framing is unrecoverable: the length prefix read from the
             // stream is garbage. Reset the connection.
             self.stats.framing_errors += 1;
-            self.teardown(peer, conn, BreakReason::StreamCorrupt, true, out);
+            if self.trace {
+                out.push(Effect::Trace(telemetry::TraceEvent::instant(
+                    "tcp.framing_error",
+                    "tcp",
+                    self.node.0 as u32,
+                    now,
+                )
+                .arg_u64("peer", peer.0 as u64)));
+            }
+            self.teardown(now, peer, conn, BreakReason::StreamCorrupt, true, out);
             return;
         }
         if seg.len > 0 {
@@ -715,6 +737,15 @@ impl<M: Clone> Substrate<M> for TcpStack<M> {
         // NULL pointers are caught synchronously by the kernel: EFAULT.
         if params.ptr == PtrParam::Null {
             self.stats.efaults += 1;
+            if self.trace {
+                out.push(Effect::Trace(telemetry::TraceEvent::instant(
+                    "tcp.efault",
+                    "tcp",
+                    self.node.0 as u32,
+                    now,
+                )
+                .arg_u64("peer", peer.0 as u64)));
+            }
             out.push(Effect::ChargeCpu(SimDuration::from_micros(2)));
             return SendStatus::SyncError;
         }
@@ -773,6 +804,15 @@ impl<M: Clone> Substrate<M> for TcpStack<M> {
                     // older connections we still hold to that node.
                     let c = Conn::new(id, now, ConnState::Established, self.config.initial_rto);
                     self.conns.entry(peer).or_default().push(c);
+                    if self.trace {
+                        out.push(Effect::Trace(telemetry::TraceEvent::instant(
+                            "tcp.connected",
+                            "tcp",
+                            self.node.0 as u32,
+                            now,
+                        )
+                        .arg_u64("peer", peer.0 as u64)));
+                    }
                     out.push(Effect::Upcall(Upcall::Connected { peer }));
                 }
                 let reply = TcpSegment {
@@ -797,12 +837,21 @@ impl<M: Clone> Substrate<M> for TcpStack<M> {
                     _ => false,
                 };
                 if established {
+                    if self.trace {
+                        out.push(Effect::Trace(telemetry::TraceEvent::instant(
+                            "tcp.connected",
+                            "tcp",
+                            self.node.0 as u32,
+                            now,
+                        )
+                        .arg_u64("peer", peer.0 as u64)));
+                    }
                     out.push(Effect::Upcall(Upcall::Connected { peer }));
                     self.pump(now, peer, id, out);
                 }
             }
             SegKind::Rst => {
-                self.teardown(peer, seg.conn, BreakReason::PeerReset, false, out);
+                self.teardown(now, peer, seg.conn, BreakReason::PeerReset, false, out);
             }
             SegKind::Data => {
                 let known = self
@@ -866,7 +915,17 @@ impl<M: Clone> Substrate<M> for TcpStack<M> {
                 }
                 if now.saturating_since(first) >= abort_after {
                     self.stats.aborts += 1;
-                    self.teardown(peer, conn, BreakReason::RetransmitTimeout, true, out);
+                    if self.trace {
+                        out.push(Effect::Trace(telemetry::TraceEvent::instant(
+                            "tcp.abort",
+                            "tcp",
+                            self.node.0 as u32,
+                            now,
+                        )
+                        .arg_u64("peer", peer.0 as u64)
+                        .arg_u64("stalled_us", now.saturating_since(first).as_nanos() / 1_000)));
+                    }
+                    self.teardown(now, peer, conn, BreakReason::RetransmitTimeout, true, out);
                     return;
                 }
                 if self.alloc_fail {
@@ -900,6 +959,17 @@ impl<M: Clone> Substrate<M> for TcpStack<M> {
                 };
                 self.stats.data_segments_sent += 1;
                 self.stats.retransmissions += 1;
+                if self.trace {
+                    out.push(Effect::Trace(telemetry::TraceEvent::instant(
+                        "tcp.retransmit",
+                        "tcp",
+                        self.node.0 as u32,
+                        now,
+                    )
+                    .arg_u64("peer", peer.0 as u64)
+                    .arg_u64("seq", seq)
+                    .arg_u64("rto_us", rto.as_nanos() / 1_000)));
+                }
                 out.push(Effect::Transmit(self.frame(peer, seg)));
                 self.arm_timer(now, peer, conn, TimerKind::Retransmit, rto, out);
             }
@@ -912,7 +982,7 @@ impl<M: Clone> Substrate<M> for TcpStack<M> {
                     return;
                 }
                 if now.saturating_since(c.opened_at) >= connect_give_up {
-                    self.teardown(peer, conn, BreakReason::RetransmitTimeout, false, out);
+                    self.teardown(now, peer, conn, BreakReason::RetransmitTimeout, false, out);
                     return;
                 }
                 let seg = TcpSegment {
@@ -943,6 +1013,22 @@ impl<M: Clone> Substrate<M> for TcpStack<M> {
         self.parked.clear();
         self.alloc_fail = false;
         self.app_receiving = true;
+    }
+
+    fn set_trace(&mut self, enabled: bool) {
+        self.trace = enabled;
+    }
+
+    fn export_metrics(&self, reg: &mut telemetry::MetricsRegistry) {
+        let s = &self.stats;
+        reg.counter_add("tcp.data_segments_sent", s.data_segments_sent);
+        reg.counter_add("tcp.retransmissions", s.retransmissions);
+        reg.counter_add("tcp.messages_delivered", s.messages_delivered);
+        reg.counter_add("tcp.aborts", s.aborts);
+        reg.counter_add("tcp.framing_errors", s.framing_errors);
+        reg.counter_add("tcp.efaults", s.efaults);
+        reg.counter_add("tcp.alloc_failures", s.alloc_failures);
+        reg.counter_add("tcp.rsts_sent", s.rsts_sent);
     }
 }
 
@@ -1006,7 +1092,7 @@ mod tests {
                     effects.extend(out);
                 }
                 Effect::Upcall(u) => upcalls.push(u),
-                Effect::SetTimer { .. } | Effect::ChargeCpu(_) => {}
+                Effect::SetTimer { .. } | Effect::ChargeCpu(_) | Effect::Trace(_) => {}
             }
         }
         upcalls

@@ -196,7 +196,7 @@ struct Vi<M> {
     peer_inc: u64,
     opened_at: SimTime,
     credits: u32,
-    pending: VecDeque<(MsgClass, M, u32, Option<RemotePoison>)>,
+    pending: VecDeque<(MsgClass, M, u32, Option<RemotePoison>, SimTime)>,
     blocked: bool,
     consumed_since_credit: u32,
     timer_gen: u64,
@@ -262,6 +262,12 @@ pub struct ViaNic<M> {
     vis: BTreeMap<NodeId, Vi<M>>,
     parked: Vec<(NodeId, M, MsgClass, u32)>,
     stats: ViaStats,
+    /// Structured-tracing switch; checked before any trace event is
+    /// even constructed so the disabled path costs one branch.
+    trace: bool,
+    /// Data-descriptor counter used to sample `via.descriptor` events
+    /// while tracing (unstalled descriptors are emitted 1-in-64).
+    trace_seq: u64,
 }
 
 impl<M: Clone> ViaNic<M> {
@@ -280,6 +286,8 @@ impl<M: Clone> ViaNic<M> {
             vis: BTreeMap::new(),
             parked: Vec::new(),
             stats: ViaStats::default(),
+            trace: false,
+            trace_seq: 0,
         }
     }
 
@@ -308,7 +316,7 @@ impl<M: Clone> ViaNic<M> {
     /// currently pinned amount, so *all* new requests fail (§4.2).
     pub fn register_pages(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         pages: u32,
         out: &mut Effects<M>,
     ) -> Result<(), PinError> {
@@ -319,6 +327,17 @@ impl<M: Clone> ViaNic<M> {
         };
         if self.pinned_pages + pages > limit {
             self.stats.pin_failures += 1;
+            if self.trace {
+                out.push(Effect::Trace(telemetry::TraceEvent::instant(
+                    "via.pin_fail",
+                    "via",
+                    self.node.0 as u32,
+                    now,
+                )
+                .arg_u64("requested", u64::from(pages))
+                .arg_u64("pinned", u64::from(self.pinned_pages))
+                .arg_u64("limit", u64::from(limit))));
+            }
             return Err(PinError {
                 requested: pages,
                 pinned: self.pinned_pages,
@@ -361,9 +380,19 @@ impl<M: Clone> ViaNic<M> {
         }
     }
 
-    fn teardown(&mut self, peer: NodeId, reason: BreakReason, out: &mut Effects<M>) {
+    fn teardown(&mut self, now: SimTime, peer: NodeId, reason: BreakReason, out: &mut Effects<M>) {
         if self.vis.remove(&peer).is_some() {
             self.stats.conn_breaks += 1;
+            if self.trace {
+                out.push(Effect::Trace(telemetry::TraceEvent::instant(
+                    "via.conn_break",
+                    "via",
+                    self.node.0 as u32,
+                    now,
+                )
+                .arg_u64("peer", peer.0 as u64)
+                .arg_str("reason", reason.label())));
+            }
             out.push(Effect::Upcall(Upcall::ConnBroken { peer, reason }));
         }
         self.parked.retain(|(p, _, _, _)| *p != peer);
@@ -403,8 +432,11 @@ impl<M: Clone> ViaNic<M> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn transmit_data(
         &mut self,
+        now: SimTime,
+        posted: SimTime,
         peer: NodeId,
         class: MsgClass,
         msg: M,
@@ -415,6 +447,26 @@ impl<M: Clone> ViaNic<M> {
         let rdma = self.config.mode == ViaMode::RemoteWrite;
         let inc = self.incarnation;
         self.stats.messages_sent += 1;
+        if self.trace {
+            // Every credit-stalled descriptor is worth a span (the wait
+            // is the story); unstalled ones are sampled 1-in-64.
+            self.trace_seq += 1;
+            let waited = now.saturating_since(posted);
+            if waited.as_nanos() > 0 || self.trace_seq.is_multiple_of(64) {
+                out.push(Effect::Trace(
+                    telemetry::TraceEvent::span(
+                        "via.descriptor",
+                        "via",
+                        self.node.0 as u32,
+                        posted,
+                        waited,
+                    )
+                    .arg_u64("peer", peer.0 as u64)
+                    .arg_u64("bytes", u64::from(bytes))
+                    .arg_str("class", class.label()),
+                ));
+            }
+        }
         out.push(Effect::ChargeCpu(self.cost.send_cost(bytes, class.is_bulk())));
         out.push(Effect::Transmit(self.frame(
             peer,
@@ -429,7 +481,7 @@ impl<M: Clone> ViaNic<M> {
         )));
     }
 
-    fn drain_pending(&mut self, peer: NodeId, out: &mut Effects<M>) {
+    fn drain_pending(&mut self, now: SimTime, peer: NodeId, out: &mut Effects<M>) {
         loop {
             let Some(vi) = self.vis.get_mut(&peer) else {
                 return;
@@ -438,8 +490,8 @@ impl<M: Clone> ViaNic<M> {
                 break;
             }
             vi.credits -= 1;
-            let (class, msg, bytes, poison) = vi.pending.pop_front().expect("nonempty");
-            self.transmit_data(peer, class, msg, bytes, poison, out);
+            let (class, msg, bytes, poison, posted) = vi.pending.pop_front().expect("nonempty");
+            self.transmit_data(now, posted, peer, class, msg, bytes, poison, out);
         }
         if let Some(vi) = self.vis.get_mut(&peer) {
             if vi.blocked && vi.pending.len() <= self.config.max_pending_sends / 2 {
@@ -510,7 +562,7 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
 
     fn send(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         peer: NodeId,
         class: MsgClass,
         msg: M,
@@ -535,6 +587,17 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
         };
         if let Some(p) = poison {
             self.stats.completion_errors += 1;
+            if self.trace {
+                out.push(Effect::Trace(telemetry::TraceEvent::instant(
+                    "via.completion_error",
+                    "via",
+                    self.node.0 as u32,
+                    now,
+                )
+                .arg_u64("peer", peer.0 as u64)
+                .arg_str("site", "local")
+                .arg_str("cause", p.cause())));
+            }
             match (p, self.config.mode) {
                 // Pointer faults are caught by the local NIC's address
                 // translation; with remote writes the error is reported
@@ -554,7 +617,7 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
                         site: ErrorSite::Local,
                         cause: p.cause(),
                     }));
-                    self.transmit_data(peer, class, msg, bytes, Some(p), out);
+                    self.transmit_data(now, now, peer, class, msg, bytes, Some(p), out);
                     return SendStatus::Accepted;
                 }
                 // A wrong length passes the local checks ("valid" bad
@@ -586,7 +649,7 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
                         site: ErrorSite::Local,
                         cause: p.cause(),
                     }));
-                    self.transmit_data(peer, class, msg, bytes, Some(p), out);
+                    self.transmit_data(now, now, peer, class, msg, bytes, Some(p), out);
                     return SendStatus::Accepted;
                 }
             }
@@ -599,11 +662,11 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
                 vi.blocked = true;
                 return SendStatus::WouldBlock;
             }
-            vi.pending.push_back((class, msg, bytes, None));
+            vi.pending.push_back((class, msg, bytes, None, now));
             return SendStatus::Accepted;
         }
         vi.credits -= 1;
-        self.transmit_data(peer, class, msg, bytes, None, out);
+        self.transmit_data(now, now, peer, class, msg, bytes, None, out);
         SendStatus::Accepted
     }
 
@@ -628,11 +691,20 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
                         .get(&peer)
                         .is_some_and(|vi| vi.state == ViState::Established)
                     {
-                        self.teardown(peer, BreakReason::PeerReset, out);
+                        self.teardown(now, peer, BreakReason::PeerReset, out);
                     }
                     let credits = self.config.credits_per_vi;
                     self.vis
                         .insert(peer, Vi::new(now, ViState::Established, incarnation, credits));
+                    if self.trace {
+                        out.push(Effect::Trace(telemetry::TraceEvent::instant(
+                            "via.connected",
+                            "via",
+                            self.node.0 as u32,
+                            now,
+                        )
+                        .arg_u64("peer", peer.0 as u64)));
+                    }
                     out.push(Effect::Upcall(Upcall::Connected { peer }));
                 }
                 let inc = self.incarnation;
@@ -653,12 +725,21 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
                     }
                 }
                 if established {
+                    if self.trace {
+                        out.push(Effect::Trace(telemetry::TraceEvent::instant(
+                            "via.connected",
+                            "via",
+                            self.node.0 as u32,
+                            now,
+                        )
+                        .arg_u64("peer", peer.0 as u64)));
+                    }
                     out.push(Effect::Upcall(Upcall::Connected { peer }));
-                    self.drain_pending(peer, out);
+                    self.drain_pending(now, peer, out);
                 }
             }
             ViaPacket::Disconnect => {
-                self.teardown(peer, BreakReason::PeerReset, out);
+                self.teardown(now, peer, BreakReason::PeerReset, out);
             }
             ViaPacket::Data {
                 msg,
@@ -678,6 +759,17 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
                 if let Some(p) = poison {
                     // The corrupted operation completes in error here too.
                     self.stats.completion_errors += 1;
+                    if self.trace {
+                        out.push(Effect::Trace(telemetry::TraceEvent::instant(
+                            "via.completion_error",
+                            "via",
+                            self.node.0 as u32,
+                            now,
+                        )
+                        .arg_u64("peer", peer.0 as u64)
+                        .arg_str("site", "remote")
+                        .arg_str("cause", p.cause())));
+                    }
                     out.push(Effect::Upcall(Upcall::CompletionError {
                         peer,
                         site: ErrorSite::Remote,
@@ -702,14 +794,14 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
                 out.push(Effect::ChargeCpu(self.cost.credit_cost));
                 let vi = self.vis.get_mut(&peer).expect("checked");
                 vi.credits = (vi.credits + n).min(self.config.credits_per_vi);
-                self.drain_pending(peer, out);
+                self.drain_pending(now, peer, out);
             }
         }
     }
 
     fn transmit_failed(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         peer: NodeId,
         reason: LossReason,
         out: &mut Effects<M>,
@@ -717,7 +809,7 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
         // Fail-stop: the SAN reported a fault; the VI is broken (§7:
         // "packet loss signals more serious problems than transient
         // congestion").
-        self.teardown(peer, BreakReason::NicError(reason), out);
+        self.teardown(now, peer, BreakReason::NicError(reason), out);
     }
 
     fn timer_fired(&mut self, now: SimTime, key: TimerKey, out: &mut Effects<M>) {
@@ -732,7 +824,7 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
             return;
         }
         if now.saturating_since(vi.opened_at) >= self.config.connect_give_up {
-            self.teardown(peer, BreakReason::RetransmitTimeout, out);
+            self.teardown(now, peer, BreakReason::RetransmitTimeout, out);
             return;
         }
         let inc = self.incarnation;
@@ -763,6 +855,24 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
         self.pin_fail = false;
         self.app_receiving = true;
         self.pinned_pages = self.config.startup_pinned_pages;
+    }
+
+    fn set_trace(&mut self, enabled: bool) {
+        self.trace = enabled;
+    }
+
+    fn export_metrics(&self, reg: &mut telemetry::MetricsRegistry) {
+        let s = &self.stats;
+        reg.counter_add("via.messages_sent", s.messages_sent);
+        reg.counter_add("via.messages_delivered", s.messages_delivered);
+        reg.counter_add("via.completion_errors", s.completion_errors);
+        reg.counter_add("via.conn_breaks", s.conn_breaks);
+        reg.counter_add("via.credit_stalls", s.credit_stalls);
+        reg.counter_add("via.pin_failures", s.pin_failures);
+        reg.gauge_set(
+            &format!("via.pinned_pages.node{}", self.node.0),
+            f64::from(self.pinned_pages),
+        );
     }
 }
 
@@ -807,7 +917,7 @@ mod tests {
                     effects.extend(out);
                 }
                 Effect::Upcall(u) => upcalls.push(u),
-                Effect::SetTimer { .. } | Effect::ChargeCpu(_) => {}
+                Effect::SetTimer { .. } | Effect::ChargeCpu(_) | Effect::Trace(_) => {}
             }
         }
         upcalls

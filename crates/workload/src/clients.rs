@@ -187,6 +187,22 @@ impl ClientPool {
     pub fn mean_throughput(&self, end: SimTime, t0: f64, t1: f64) -> f64 {
         self.throughput(end).mean_between(t0, t1).unwrap_or(0.0)
     }
+
+    /// Dumps the pool's outcome tallies and response-time shape into a
+    /// [`telemetry::MetricsRegistry`].
+    pub fn export_metrics(&self, reg: &mut telemetry::MetricsRegistry) {
+        let c = &self.counter;
+        reg.counter_add("client.attempts", c.attempts);
+        reg.counter_add("client.successes", c.successes);
+        reg.counter_add("client.connect_timeouts", c.connect_timeouts);
+        reg.counter_add("client.request_timeouts", c.request_timeouts);
+        reg.counter_add("client.refused", c.refused);
+        if self.latency.count() > 0 {
+            reg.gauge_set("client.latency_mean_ms", self.latency.mean() * 1e3);
+            reg.gauge_set("client.latency_p95_ms", self.latency.quantile(0.95) * 1e3);
+            reg.gauge_set("client.latency_max_ms", self.latency.max() * 1e3);
+        }
+    }
 }
 
 #[cfg(test)]

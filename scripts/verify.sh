@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
-# Tier-2 verification: release build, full test suite, and a golden
-# diff of the repro harness.
+# Tier-2 verification: release build, lint, full test suite, and golden
+# diffs of the repro harness.
 #
-# The golden check runs `repro -- table1 --small --timing` with
-# `--jobs 0` (all cores) and diffs stdout against the checked-in
-# sequential capture, so it verifies both the harness output and the
-# byte-identity of the parallel runner in one step. `--timing` output
-# goes to stderr and BENCH_repro.json, which this script preserves.
+# The golden checks run small-scale targets with `--jobs 0` (all cores)
+# and diff stdout against the checked-in sequential captures, so they
+# verify both the harness output and the byte-identity of the parallel
+# runner in one step. `--timing` output goes to stderr and
+# BENCH_repro.json, which this script preserves.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release"
 cargo build --release --workspace
 
+echo "== cargo clippy"
+cargo clippy -q --workspace --all-targets -- -D warnings
+
 echo "== cargo test"
-cargo test -q
+cargo test -q --workspace
 
 echo "== repro table1 --small --timing vs golden"
 tmp_out=$(mktemp)
@@ -36,5 +39,21 @@ trap restore EXIT
 
 cargo run --release -q -p bench --bin repro -- table1 --small --timing --jobs 0 >"$tmp_out"
 diff -u scripts/golden_table1_small.txt "$tmp_out"
+
+echo "== repro fig3 --small vs golden"
+cargo run --release -q -p bench --bin repro -- fig3 --small --jobs 0 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_fig3_small.txt "$tmp_out"
+
+echo "== repro crossover --small vs golden"
+cargo run --release -q -p bench --bin repro -- crossover --small --jobs 0 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_crossover_small.txt "$tmp_out"
+
+echo "== traced fig3 is deterministic"
+tmp_trace1=$(mktemp)
+tmp_trace2=$(mktemp)
+cargo run --release -q -p bench --bin repro -- fig3 --small --trace "$tmp_trace1" >/dev/null 2>&1
+cargo run --release -q -p bench --bin repro -- fig3 --small --jobs 0 --trace "$tmp_trace2" >/dev/null 2>&1
+cmp "$tmp_trace1" "$tmp_trace2"
+rm -f "$tmp_trace1" "$tmp_trace2"
 
 echo "verify: OK"
