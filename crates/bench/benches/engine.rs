@@ -37,6 +37,100 @@ fn engine_schedule_pop(c: &mut Criterion) {
     group.finish();
 }
 
+fn engine_pop_batch(c: &mut Criterion) {
+    // Same-instant bursts drained the way `ClusterSim::run_until` does:
+    // one `pop_batch` call per instant instead of one `pop` per event.
+    let mut group = c.benchmark_group("engine");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("pop_batch_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = Engine::with_capacity(n as usize);
+                for i in 0..n {
+                    // Ten events per instant, like a frame burst.
+                    engine.schedule_at(SimTime::from_nanos((i / 10) * 1_000), i);
+                }
+                engine
+            },
+            |mut engine| {
+                let mut burst = Vec::with_capacity(16);
+                while engine.pop_batch(&mut burst).is_some() {
+                    for ev in burst.drain(..) {
+                        black_box(ev);
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn engine_timeout_stream(c: &mut Criterion) {
+    // A constant-offset timeout stream (request deadlines, forward
+    // watchdogs: always `now + T`) in steady state — the workload the
+    // monotone O(1) lane exists for, benched against the general heap.
+    let mut group = c.benchmark_group("engine");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    for (name, fifo) in [("timeout_stream_heap", false), ("timeout_stream_fifo", true)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut engine = Engine::with_capacity(2048);
+                    for i in 0..1_000u64 {
+                        engine.schedule_at(SimTime::from_nanos(i * 1_000), i);
+                    }
+                    engine
+                },
+                |mut engine| {
+                    for _ in 0..n {
+                        let (t, v) = engine.pop().expect("steady state");
+                        let at = t + SimDuration::from_secs(6);
+                        if fifo {
+                            engine.schedule_fifo(at, v);
+                        } else {
+                            engine.schedule_at(at, v);
+                        }
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn engine_cancel(c: &mut Criterion) {
+    // Schedule cancellable timers and cancel half before they fire —
+    // the retransmit-supersession pattern the timer index produces.
+    let mut group = c.benchmark_group("engine");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("schedule_cancel_pop_100k", |b| {
+        b.iter_batched(
+            || Engine::<u64>::with_capacity(n as usize),
+            |mut engine| {
+                let mut last = None;
+                for i in 0..n {
+                    let tok = engine
+                        .schedule_cancellable(SimTime::from_nanos(1_000_000 + i * 100), i);
+                    // Each new timer supersedes the previous one.
+                    if let Some(prev) = last.replace(tok) {
+                        engine.cancel(prev);
+                    }
+                }
+                while let Some(ev) = engine.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
 fn engine_dense_same_time(c: &mut Criterion) {
     c.bench_function("engine/fifo_ties_10k", |b| {
         b.iter_batched(
@@ -87,6 +181,9 @@ fn throughput_recorder(c: &mut Criterion) {
 criterion_group!(
     benches,
     engine_schedule_pop,
+    engine_pop_batch,
+    engine_timeout_stream,
+    engine_cancel,
     engine_dense_same_time,
     rng_sampling,
     throughput_recorder

@@ -304,6 +304,7 @@ fn main() {
     }
 
     if timing {
+
         let total_wall: f64 = timings.iter().map(|t| t.wall_s).sum();
         let total_events: u64 = timings.iter().map(|t| t.events).sum();
         eprintln!("\n--- timing (jobs = {jobs}) ---");

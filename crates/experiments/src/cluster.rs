@@ -2,7 +2,7 @@
 //! fabric, driven by Poisson clients, with Mendosus faults applied in
 //! real time.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mendosus::{Campaign, FaultAction, FaultKind, FaultPhase, PlannedMangle};
@@ -12,14 +12,15 @@ use press::{
 };
 use simnet::fabric::{Fabric, FabricConfig, Frame, LossReason, NodeId};
 use simnet::{
-    AvailabilityCounter, CpuMeter, Engine, LatencyHistogram, SimDuration, SimRng, SimTime,
-    TimeSeries,
+    AvailabilityCounter, CancelToken, CpuMeter, Engine, LatencyHistogram, SimDuration, SimRng,
+    SimTime, TimeSeries,
 };
 use transport::{
-    Effect, Effects, Substrate, TcpConfig, TcpStack, TimerKey, Upcall, ViaConfig, ViaNic,
-    WirePayload,
+    Effect, Effects, Substrate, SubstrateImpl, TcpConfig, TcpStack, TimerKey, TimerKind, Upcall,
+    ViaConfig, ViaNic, WirePayload,
 };
 use workload::{ClientConfig, ClientEvent, ClientPool};
+
 
 /// Everything needed to build a cluster run.
 #[derive(Debug, Clone)]
@@ -126,7 +127,9 @@ enum Work {
 
 struct NodeSlot {
     press: PressNode,
-    sub: Box<dyn Substrate<PressMsg>>,
+    /// The transport endpoint, statically dispatched: the hot path never
+    /// pays a vtable indirection per frame/timer/send.
+    sub: SubstrateImpl<PressMsg>,
     cpu: CpuMeter,
     mangler: mendosus::Mangler,
     running: bool,
@@ -134,6 +137,41 @@ struct NodeSlot {
     frozen: bool,
     gen: u64,
     freezer: Vec<Work>,
+}
+
+/// Reusable pool of [`Effects`] buffers, so transport/app calls fill
+/// recycled capacity instead of allocating a fresh `Vec` per work item.
+#[derive(Default)]
+struct FxPool {
+    bufs: Vec<Effects<PressMsg>>,
+}
+
+impl FxPool {
+    fn take(&mut self) -> Effects<PressMsg> {
+        self.bufs.pop().unwrap_or_default()
+    }
+
+    fn put(&mut self, mut buf: Effects<PressMsg>) {
+        buf.clear();
+        self.bufs.push(buf);
+    }
+}
+
+/// Cancellation bookkeeping for one TCP connection's timers.
+///
+/// TCP bumps the shared per-connection `gen` on every `arm_timer` and
+/// `timer_fired` demands an exact match, so *any* pending timer whose
+/// gen is older than the newest `SetTimer` gen seen for the connection
+/// is a guaranteed no-op — it can be cancelled out of the engine instead
+/// of transiting the heap just to be discarded. VIA's gens reset when a
+/// Vi is replaced (not monotone), so the index is only maintained for
+/// TCP versions; VIA only arms rare connection-setup timers anyway.
+#[derive(Clone, Default)]
+struct ConnTimers {
+    /// Gen of the newest `SetTimer` seen for this connection.
+    latest_gen: u64,
+    /// Per-kind pending timer: `(gen, engine token)`.
+    pending: [Option<(u64, CancelToken)>; TimerKind::COUNT],
 }
 
 /// Summary of a finished (or in-progress) run.
@@ -189,6 +227,19 @@ pub struct ClusterSim {
     sink: telemetry::TraceSink,
     /// Sampled in-flight requests: id → (issue time, target node).
     traced_requests: std::collections::BTreeMap<u64, (SimTime, usize)>,
+    /// Work queue reused across events (allocation-free steady state).
+    work: VecDeque<(usize, Work)>,
+    /// Pool of `Effects` buffers reused across work items.
+    fx_pool: FxPool,
+    /// App-effect buffer reused across work items.
+    app_scratch: Vec<AppEffect>,
+    /// Same-instant event burst buffer reused across `run_until` steps.
+    batch: Vec<Ev>,
+    /// Per-node `conn → ConnTimers` cancellation index (TCP versions
+    /// only; `None` for VIA — see [`ConnTimers`]).
+    timers: Option<Vec<BTreeMap<u64, ConnTimers>>>,
+    /// Superseded timers cancelled before ever being dispatched.
+    timers_suppressed: u64,
 }
 
 impl Drop for ClusterSim {
@@ -221,10 +272,14 @@ impl ClusterSim {
         let mut nodes = Vec::with_capacity(n);
         for i in 0..n {
             let id = NodeId(i);
-            let sub: Box<dyn Substrate<PressMsg>> = if config.version.uses_via() {
-                Box::new(ViaNic::new(id, config.via.clone(), config.version.cost_model()))
+            let sub = if config.version.uses_via() {
+                SubstrateImpl::Via(ViaNic::new(id, config.via.clone(), config.version.cost_model()))
             } else {
-                Box::new(TcpStack::new(id, config.tcp.clone(), config.version.cost_model()))
+                SubstrateImpl::Tcp(TcpStack::new(
+                    id,
+                    config.tcp.clone(),
+                    config.version.cost_model(),
+                ))
             };
             nodes.push(NodeSlot {
                 press: PressNode::new(id, config.version, config.press.clone()),
@@ -254,6 +309,11 @@ impl ClusterSim {
                 slot.press.set_trace(true);
             }
         }
+        let timers = if config.version.uses_via() {
+            None
+        } else {
+            Some(vec![BTreeMap::new(); n])
+        };
         let mut sim = ClusterSim {
             last_members: vec![0; n],
             config,
@@ -266,13 +326,18 @@ impl ClusterSim {
             process_log: Vec::new(),
             sink,
             traced_requests: std::collections::BTreeMap::new(),
+            work: VecDeque::new(),
+            fx_pool: FxPool::default(),
+            app_scratch: Vec::new(),
+            batch: Vec::new(),
+            timers,
+            timers_suppressed: 0,
         };
         // Cold-boot every node.
-        let mut work = VecDeque::new();
         for i in 0..n {
-            work.push_back((i, Work::Start { cold: true }));
+            sim.work.push_back((i, Work::Start { cold: true }));
         }
-        sim.drain_work(SimTime::ZERO, work);
+        sim.drain_work(SimTime::ZERO);
         if sim.config.prewarm {
             sim.prewarm();
         }
@@ -287,6 +352,12 @@ impl ClusterSim {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
+    }
+
+    /// Engine events dispatched by this simulation so far (live view of
+    /// the count folded into [`events_dispatched_total`] on drop).
+    pub fn events_dispatched(&self) -> u64 {
+        self.engine.dispatched()
     }
 
     /// Direct fabric access (tests and custom scenarios).
@@ -309,25 +380,22 @@ impl ClusterSim {
         // the steady state cooperative caching converges to.
         let n = self.config.press.nodes;
         let per_node = self.config.press.cache_entries();
-        let assignment: Vec<NodeId> = (0..self.config.press.files)
-            .map(|f| NodeId(f as usize % n))
-            .collect();
-        for (f, node) in assignment.iter().enumerate() {
-            assert!(
-                f / n < per_node,
-                "document set must fit in the aggregate cache for prewarm"
-            );
-            let _ = node;
-        }
+        let files = self.config.press.files as usize;
+        // Round-robin gives node 0 the most files: ceil(files / n).
+        assert!(
+            files.div_ceil(n) <= per_node,
+            "document set must fit in the aggregate cache for prewarm"
+        );
+        let assignment: Vec<NodeId> = (0..files).map(|f| NodeId(f % n)).collect();
         let now = self.engine.now();
         for i in 0..n {
             let slot = &mut self.nodes[i];
-            let mut fx = Vec::new();
-            let mut app = Vec::new();
+            let mut fx = self.fx_pool.take();
+            let mut app = std::mem::take(&mut self.app_scratch);
             let mut ctx = NodeCtx {
                 now,
                 cpu: &mut slot.cpu,
-                sub: slot.sub.as_mut(),
+                sub: &mut slot.sub,
                 interposer: &mut slot.mangler,
                 fx: &mut fx,
                 app: &mut app,
@@ -335,16 +403,28 @@ impl ClusterSim {
             slot.press.prewarm(&mut ctx, &assignment);
             // Prewarm is setup, not simulation: discard the effects (the
             // CPU cost of loading caches happened "before" the run).
-            fx.clear();
+            self.fx_pool.put(fx);
             app.clear();
+            self.app_scratch = app;
         }
     }
 
     /// Runs the simulation until `deadline`.
+    ///
+    /// Events are pulled in same-instant bursts
+    /// ([`Engine::pop_batch_before`]) rather than one `pop_before` call
+    /// per event; events an in-burst handler schedules for the current
+    /// instant land in the *next* burst, which is exactly where the
+    /// per-event loop would have delivered them (they carry later seqs),
+    /// so dispatch order — and therefore every report — is unchanged.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some((now, ev)) = self.engine.pop_before(deadline) {
-            self.handle(now, ev);
+        let mut batch = std::mem::take(&mut self.batch);
+        while let Some(now) = self.engine.pop_batch_before(deadline, &mut batch) {
+            for ev in batch.drain(..) {
+                self.handle(now, ev);
+            }
         }
+        self.batch = batch;
     }
 
     /// Builds the report for everything seen so far.
@@ -371,6 +451,13 @@ impl ClusterSim {
         self.sink.enabled()
     }
 
+    /// Superseded transport timers cancelled out of the engine before
+    /// they were ever dispatched (also exported as the
+    /// `transport.timers_stale_suppressed` metric).
+    pub fn timers_stale_suppressed(&self) -> u64 {
+        self.timers_suppressed
+    }
+
     /// Drains the buffered trace events (empty when tracing is off).
     pub fn take_trace(&mut self) -> Vec<telemetry::TraceEvent> {
         self.sink.take()
@@ -381,14 +468,35 @@ impl ClusterSim {
     /// fractions, client outcome tallies and the current splinter count
     /// (distinct membership views among running nodes).
     pub fn metrics_snapshot(&self) -> telemetry::MetricsRegistry {
+        /// Pre-rendered per-node gauge keys: snapshots are taken inside
+        /// timed runs, so they must not allocate a label per node.
+        static CPU_LABELS: [&str; 16] = [
+            "cpu.busy_fraction.node0",
+            "cpu.busy_fraction.node1",
+            "cpu.busy_fraction.node2",
+            "cpu.busy_fraction.node3",
+            "cpu.busy_fraction.node4",
+            "cpu.busy_fraction.node5",
+            "cpu.busy_fraction.node6",
+            "cpu.busy_fraction.node7",
+            "cpu.busy_fraction.node8",
+            "cpu.busy_fraction.node9",
+            "cpu.busy_fraction.node10",
+            "cpu.busy_fraction.node11",
+            "cpu.busy_fraction.node12",
+            "cpu.busy_fraction.node13",
+            "cpu.busy_fraction.node14",
+            "cpu.busy_fraction.node15",
+        ];
         let mut reg = telemetry::MetricsRegistry::new();
         let now = self.engine.now();
         for (i, slot) in self.nodes.iter().enumerate() {
             slot.sub.export_metrics(&mut reg);
-            reg.gauge_set(
-                &format!("cpu.busy_fraction.node{i}"),
-                slot.cpu.utilization(now),
-            );
+            let busy = slot.cpu.utilization(now);
+            match CPU_LABELS.get(i) {
+                Some(label) => reg.gauge_set(label, busy),
+                None => reg.gauge_set(&format!("cpu.busy_fraction.node{i}"), busy),
+            }
             let s = slot.press.stats();
             reg.counter_add("press.served_local", s.served_local);
             reg.counter_add("press.served_remote", s.served_remote);
@@ -402,6 +510,10 @@ impl ClusterSim {
             reg.counter_add("press.rejoined", s.rejoined);
             reg.counter_add("press.merges", s.merges);
         }
+        reg.counter_add(
+            "transport.timers_stale_suppressed",
+            self.timers_suppressed,
+        );
         self.clients.export_metrics(&mut reg);
         let views: std::collections::BTreeSet<Vec<usize>> = self
             .nodes
@@ -418,23 +530,24 @@ impl ClusterSim {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
-        let mut work: VecDeque<(usize, Work)> = VecDeque::new();
+        debug_assert!(self.work.is_empty());
         match ev {
             Ev::Frame(frame) => {
                 let dst = frame.dst.0;
                 if self.fabric.node_up(frame.dst) {
-                    work.push_back((dst, Work::FrameIn(frame)));
+                    self.work.push_back((dst, Work::FrameIn(frame)));
                 }
             }
             Ev::Timer(key) => {
-                let node = key.node.0;
-                if self.fabric.node_up(key.node) {
-                    work.push_back((node, Work::Timer(key)));
+                if self.note_timer_dispatched(&key) {
+                    self.timers_suppressed += 1;
+                } else if self.fabric.node_up(key.node) {
+                    self.work.push_back((key.node.0, Work::Timer(key)));
                 }
             }
             Ev::App { node, gen, ev } => {
                 if self.nodes[node].running && self.nodes[node].gen == gen {
-                    work.push_back((node, Work::AppEv(ev)));
+                    self.work.push_back((node, Work::AppEv(ev)));
                 }
             }
             Ev::Reply { node, gen, req_id } => {
@@ -496,14 +609,17 @@ impl ClusterSim {
                         self.traced_requests.insert(req.id, (now, target.0));
                     }
                     let deadline = self.clients.accepted(now, req.id);
+                    // Deadlines are always `now + request_timeout`, so the
+                    // stream is monotone: the O(1) lane keeps these tens
+                    // of thousands of far-future events out of the heap.
                     self.engine
-                        .schedule_at(deadline, Ev::Client(ClientEvent::Deadline(req.id)));
+                        .schedule_fifo(deadline, Ev::Client(ClientEvent::Deadline(req.id)));
                     self.nodes[target.0].freezer.push(Work::Client(req));
                 } else {
                     if traced {
                         self.traced_requests.insert(req.id, (now, target.0));
                     }
-                    work.push_back((target.0, Work::Client(req)));
+                    self.work.push_back((target.0, Work::Client(req)));
                 }
             }
             Ev::Client(ClientEvent::Deadline(id)) => {
@@ -534,18 +650,63 @@ impl ClusterSim {
                             now,
                         )
                     });
-                    work.push_back((node, Work::Start { cold: false }));
+                    self.work.push_back((node, Work::Start { cold: false }));
                 }
             }
             Ev::Fault(idx) => {
                 let action = self.actions[idx].clone();
-                self.apply_fault(now, &action, &mut work);
+                self.apply_fault(now, &action);
             }
         }
-        self.drain_work(now, work);
+        self.drain_work(now);
     }
 
-    fn apply_fault(&mut self, now: SimTime, action: &FaultAction, work: &mut VecDeque<(usize, Work)>) {
+    /// Records delivery of a timer event and reports whether it is
+    /// *certainly* stale (superseded by a later gen for its connection)
+    /// and need not reach the transport. Cancellation at arm time
+    /// already removes such timers from the engine, so this is a cheap
+    /// defensive check; delivering a maybe-stale timer is always safe
+    /// (the transport re-checks the gen).
+    fn note_timer_dispatched(&mut self, key: &TimerKey) -> bool {
+        let Some(per_node) = &mut self.timers else {
+            return false;
+        };
+        let Some(entry) = per_node[key.node.0].get_mut(&key.conn) else {
+            return false;
+        };
+        let slot = &mut entry.pending[key.kind.idx()];
+        if slot.is_some_and(|(g, _)| g == key.gen) {
+            *slot = None;
+        }
+        key.gen < entry.latest_gen
+    }
+
+    /// Schedules a transport timer, cancelling any pending timer of the
+    /// same connection that the new gen supersedes (see [`ConnTimers`]).
+    fn schedule_timer(&mut self, at: SimTime, key: TimerKey) {
+        let Some(per_node) = &mut self.timers else {
+            self.engine.schedule_at(at, Ev::Timer(key));
+            return;
+        };
+        let entry = per_node[key.node.0].entry(key.conn).or_default();
+        if key.gen > entry.latest_gen {
+            entry.latest_gen = key.gen;
+        }
+        for slot in &mut entry.pending {
+            if let Some((g, token)) = *slot {
+                if g < entry.latest_gen {
+                    *slot = None;
+                    if self.engine.cancel(token) {
+                        self.timers_suppressed += 1;
+                    }
+                }
+            }
+        }
+        let token = self.engine.schedule_cancellable(at, Ev::Timer(key));
+        entry.pending[key.kind.idx()] = Some((key.gen, token));
+    }
+
+    fn apply_fault(&mut self, now: SimTime, action: &FaultAction) {
         let spec = &action.spec;
         let node = spec.node;
         let inject = action.phase == FaultPhase::Inject;
@@ -615,7 +776,7 @@ impl ClusterSim {
                     slot.frozen = false;
                     let frozen_work = std::mem::take(&mut slot.freezer);
                     for w in frozen_work {
-                        work.push_back((node.0, w));
+                        self.work.push_back((node.0, w));
                     }
                 }
             }
@@ -628,13 +789,13 @@ impl ClusterSim {
             FaultKind::AppHang => {
                 if inject {
                     self.nodes[node.0].hung = true;
-                    work.push_back((node.0, Work::SetHung(true)));
+                    self.work.push_back((node.0, Work::SetHung(true)));
                 } else {
                     self.nodes[node.0].hung = false;
-                    work.push_back((node.0, Work::SetHung(false)));
+                    self.work.push_back((node.0, Work::SetHung(false)));
                     let frozen_work = std::mem::take(&mut self.nodes[node.0].freezer);
                     for w in frozen_work {
-                        work.push_back((node.0, w));
+                        self.work.push_back((node.0, w));
                     }
                 }
             }
@@ -687,10 +848,11 @@ impl ClusterSim {
     // Work processing
     // ------------------------------------------------------------------
 
-    fn drain_work(&mut self, now: SimTime, mut work: VecDeque<(usize, Work)>) {
-        while let Some((i, w)) = work.pop_front() {
-            let mut fx: Effects<PressMsg> = Vec::new();
-            let mut app: Vec<AppEffect> = Vec::new();
+    fn drain_work(&mut self, now: SimTime) {
+        while let Some((i, w)) = self.work.pop_front() {
+            // Reused buffers: zero steady-state allocation per work item.
+            let mut fx = self.fx_pool.take();
+            let mut app = std::mem::take(&mut self.app_scratch);
             let mut accept: Option<(u64, ClientAccept)> = None;
             {
                 let slot = &mut self.nodes[i];
@@ -703,19 +865,23 @@ impl ClusterSim {
                 );
                 if !transport_work {
                     if !slot.running && !matches!(w, Work::Start { .. }) {
+                        self.fx_pool.put(fx);
+                        self.app_scratch = app;
                         continue;
                     }
                     if (slot.frozen || slot.hung)
                         && !matches!(w, Work::SetHung(_) | Work::Start { .. })
                     {
                         slot.freezer.push(w);
+                        self.fx_pool.put(fx);
+                        self.app_scratch = app;
                         continue;
                     }
                 }
                 let mut ctx = NodeCtx {
                     now,
                     cpu: &mut slot.cpu,
-                    sub: slot.sub.as_mut(),
+                    sub: &mut slot.sub,
                     interposer: &mut slot.mangler,
                     fx: &mut fx,
                     app: &mut app,
@@ -747,9 +913,9 @@ impl ClusterSim {
                         slot.press.start(&mut ctx, cold);
                     }
                     Work::SetHung(h) => {
-                        let mut sub_fx = Vec::new();
-                        ctx.sub.set_app_receiving(now, !h, &mut sub_fx);
-                        fx_append(ctx.fx, sub_fx);
+                        // The transport fills the shared fx buffer
+                        // directly; no intermediate Vec.
+                        ctx.sub.set_app_receiving(now, !h, ctx.fx);
                     }
                 }
             }
@@ -758,12 +924,15 @@ impl ClusterSim {
                     ClientAccept::Accepted => {
                         let deadline = self.clients.accepted(now, req_id);
                         self.engine
-                            .schedule_at(deadline, Ev::Client(ClientEvent::Deadline(req_id)));
+                            .schedule_fifo(deadline, Ev::Client(ClientEvent::Deadline(req_id)));
                     }
                     ClientAccept::Dropped => self.clients.connect_failed(),
                 }
             }
-            self.apply_effects(now, i, fx, app, &mut work);
+            self.apply_effects(now, i, &mut fx, &mut app);
+            self.fx_pool.put(fx);
+            app.clear();
+            self.app_scratch = app;
         }
     }
 
@@ -771,39 +940,42 @@ impl ClusterSim {
         &mut self,
         now: SimTime,
         i: usize,
-        fx: Effects<PressMsg>,
-        app: Vec<AppEffect>,
-        work: &mut VecDeque<(usize, Work)>,
+        fx: &mut Effects<PressMsg>,
+        app: &mut Vec<AppEffect>,
     ) {
-        for e in fx {
+        for e in fx.drain(..) {
             match e {
                 Effect::Transmit(frame) => match self.fabric.transmit(now, &frame) {
                     simnet::fabric::TransmitOutcome::Delivered { at } => {
                         self.engine.schedule_at(at, Ev::Frame(frame));
                     }
                     simnet::fabric::TransmitOutcome::Lost { reason } => {
-                        work.push_back((i, Work::TransmitFailed(frame.dst, reason)));
+                        self.work.push_back((i, Work::TransmitFailed(frame.dst, reason)));
                     }
                 },
                 Effect::SetTimer { at, key } => {
-                    self.engine.schedule_at(at, Ev::Timer(key));
+                    self.schedule_timer(at, key);
                 }
                 Effect::ChargeCpu(d) => {
                     self.nodes[i].cpu.charge(now, d);
                 }
                 Effect::Upcall(u) => {
-                    work.push_back((i, Work::Upcall(u)));
+                    self.work.push_back((i, Work::Upcall(u)));
                 }
                 Effect::Trace(ev) => {
                     self.sink.emit(ev);
                 }
             }
         }
-        for a in app {
+        for a in app.drain(..) {
             match a {
                 AppEffect::Schedule { at, ev } => {
                     let gen = self.nodes[i].gen;
                     self.engine.schedule_at(at, Ev::App { node: i, gen, ev });
+                }
+                AppEffect::ScheduleMonotone { at, ev } => {
+                    let gen = self.nodes[i].gen;
+                    self.engine.schedule_fifo(at, Ev::App { node: i, gen, ev });
                 }
                 AppEffect::Reply { req_id, at } => {
                     let gen = self.nodes[i].gen;
@@ -838,10 +1010,6 @@ impl ClusterSim {
             });
         }
     }
-}
-
-fn fx_append(dst: &mut Effects<PressMsg>, src: Effects<PressMsg>) {
-    dst.extend(src);
 }
 
 #[cfg(test)]
@@ -893,4 +1061,67 @@ mod tests {
         assert_eq!(run(7), run(7));
         assert_ne!(run(7).1, run(8).1);
     }
+
+    #[test]
+    fn superseded_timers_are_cancelled_before_dispatch() {
+        // Steady TCP traffic constantly re-arms per-connection
+        // retransmit timers with fresh gens; the pending-timer index
+        // must cancel the superseded ones out of the engine rather
+        // than letting them transit the heap as no-ops.
+        let mut sim = ClusterSim::new(ClusterConfig::small(PressVersion::Tcp), 1);
+        sim.run_until(SimTime::from_secs(5));
+        let suppressed = sim.timers_stale_suppressed();
+        assert!(suppressed > 0, "no superseded timers were cancelled");
+        let reg = sim.metrics_snapshot();
+        assert_eq!(reg.counter("transport.timers_stale_suppressed"), suppressed);
+    }
+
+    #[test]
+    fn via_runs_without_a_timer_index() {
+        // VIA gens are not monotone per connection (Vi replacement
+        // resets them), so the index is TCP-only and VIA must simply
+        // never count a suppression.
+        let mut sim = ClusterSim::new(ClusterConfig::small(PressVersion::Via5), 1);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.timers_stale_suppressed(), 0);
+    }
+
+    /// Runs the small TCP scenario stepped in `chunk_ms` increments and
+    /// returns everything a report compares on. Used to prove the event
+    /// loop delivers identical results regardless of how callers batch
+    /// `run_until` (the `--jobs N` worker threads each step their own
+    /// sims like this).
+    fn chunked_run(chunk_ms: u64) -> (AvailabilityCounter, Vec<(f64, f64)>, Vec<usize>, u64) {
+        let mut sim = ClusterSim::new(ClusterConfig::small(PressVersion::Tcp), 7);
+        let end = SimTime::from_secs(5);
+        let mut t = SimTime::ZERO;
+        while t < end {
+            t = (t + SimDuration::from_millis(chunk_ms)).min(end);
+            sim.run_until(t);
+        }
+        let r = sim.report();
+        (
+            r.availability.clone(),
+            r.throughput.points,
+            r.final_members,
+            sim.timers_stale_suppressed(),
+        )
+    }
+
+    #[test]
+    fn report_identical_across_batching_and_jobs() {
+        let whole = chunked_run(5_000);
+        // Odd chunk sizes land run_until deadlines mid-burst.
+        assert_eq!(whole, chunked_run(137));
+        assert_eq!(whole, chunked_run(1_000));
+        // Same seed on worker threads (the `--jobs N` path) must agree
+        // with the in-process run bit for bit.
+        let handles: Vec<_> = (0..2)
+            .map(|_| std::thread::spawn(|| chunked_run(5_000)))
+            .collect();
+        for h in handles {
+            assert_eq!(whole, h.join().expect("worker run panicked"));
+        }
+    }
 }
+

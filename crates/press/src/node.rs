@@ -77,6 +77,16 @@ pub enum AppEffect {
         /// What.
         ev: AppEvent,
     },
+    /// Like `Schedule`, but for fixed-horizon watchdogs (`at` is always
+    /// the current time plus one constant): successive emissions have
+    /// non-decreasing timestamps, so the composition layer can queue
+    /// them on an O(1) already-sorted lane instead of the heap.
+    ScheduleMonotone {
+        /// When.
+        at: SimTime,
+        /// What.
+        ev: AppEvent,
+    },
     /// The response for `req_id` leaves the node at `at` (success if the
     /// client is still waiting).
     Reply {
@@ -105,13 +115,18 @@ pub enum ClientAccept {
 
 /// Everything a node entry point may touch, borrowed from the
 /// composition layer.
-pub struct NodeCtx<'a> {
+///
+/// Generic over the substrate so a caller holding a concrete transport
+/// (e.g. `SubstrateImpl`) gets fully monomorphized, devirtualized node
+/// code; the default parameter keeps trait-object callers (tests, mock
+/// substrates) working unchanged.
+pub struct NodeCtx<'a, S: ?Sized = dyn Substrate<PressMsg> + 'a> {
     /// Current simulated time.
     pub now: SimTime,
     /// This node's CPU.
     pub cpu: &'a mut CpuMeter,
     /// This node's transport endpoint.
-    pub sub: &'a mut dyn Substrate<PressMsg>,
+    pub sub: &'a mut S,
     /// The Mendosus interposition layer for send parameters.
     pub interposer: &'a mut dyn SendInterposer,
     /// Transport effects produced during the call (frames, timers, CPU).
@@ -267,7 +282,7 @@ impl PressNode {
     /// node assumes full membership. Otherwise this is a restart into a
     /// running cluster: the node starts alone and runs the rejoin
     /// protocol (§3 "Reconfiguration").
-    pub fn start(&mut self, ctx: &mut NodeCtx<'_>, cold: bool) {
+    pub fn start<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, cold: bool) {
         self.members.clear();
         self.members.insert(self.id);
         self.joined = cold;
@@ -317,7 +332,7 @@ impl PressNode {
     /// Pre-populates this node's cache and cluster directory so
     /// experiments start in the steady state (skipping the multi-minute
     /// cold-cache warm-up). `assignment[f]` is the node caching file `f`.
-    pub fn prewarm(&mut self, ctx: &mut NodeCtx<'_>, assignment: &[NodeId]) {
+    pub fn prewarm<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, assignment: &[NodeId]) {
         for (f, &holder) in assignment.iter().enumerate() {
             let file = f as FileId;
             self.directory.add(file, holder);
@@ -349,7 +364,7 @@ impl PressNode {
     /// Sends one message; on WouldBlock the node freezes with the
     /// message stalled. Returns `false` if the message could not be
     /// handed over at all (connection gone / EFAULT).
-    fn send_to(&mut self, ctx: &mut NodeCtx<'_>, peer: NodeId, body: MsgBody) -> bool {
+    fn send_to<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, peer: NodeId, body: MsgBody) -> bool {
         let msg = self.make_msg(body);
         let class = msg.class();
         let bytes = msg.wire_bytes(self.config.file_bytes);
@@ -373,7 +388,7 @@ impl PressNode {
 
     /// Best-effort control send: never blocks the node (a full queue
     /// just delays/drops the control message — heartbeats may be late).
-    fn send_control(&mut self, ctx: &mut NodeCtx<'_>, peer: NodeId, body: MsgBody) {
+    fn send_control<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, peer: NodeId, body: MsgBody) {
         let msg = self.make_msg(body);
         let class = msg.class();
         let bytes = msg.wire_bytes(self.config.file_bytes);
@@ -382,7 +397,7 @@ impl PressNode {
     }
 
     /// Broadcasts `body` to all other members, freezing on WouldBlock.
-    fn broadcast(&mut self, ctx: &mut NodeCtx<'_>, body: MsgBody) {
+    fn broadcast<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, body: MsgBody) {
         let msg = self.make_msg(body);
         let class = msg.class();
         let bytes = msg.wire_bytes(self.config.file_bytes);
@@ -419,7 +434,7 @@ impl PressNode {
     // ------------------------------------------------------------------
 
     /// A client request arrives (this node is its *initial node*).
-    pub fn client_request(&mut self, ctx: &mut NodeCtx<'_>, req: Request) -> ClientAccept {
+    pub fn client_request<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, req: Request) -> ClientAccept {
         if self.is_blocked() {
             if self.deferred.len() < self.config.deferred_cap {
                 self.deferred.push_back(Deferred::Client(req));
@@ -441,7 +456,7 @@ impl PressNode {
         ClientAccept::Accepted
     }
 
-    fn route(&mut self, ctx: &mut NodeCtx<'_>, req: Request) {
+    fn route<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, req: Request) {
         ctx.cpu.charge(ctx.now, self.config.route_cost);
         if self.cache.contains(req.file) {
             self.cache.touch(req.file);
@@ -461,7 +476,7 @@ impl PressNode {
             Some(service) => {
                 self.stats.served_remote += 1;
                 self.pending_remote.insert(req.id, (req, service));
-                ctx.app.push(AppEffect::Schedule {
+                ctx.app.push(AppEffect::ScheduleMonotone {
                     at: ctx.now + simnet::SimDuration::from_secs(6),
                     ev: AppEvent::PendingTimeout(req.id),
                 });
@@ -487,7 +502,7 @@ impl PressNode {
         }
     }
 
-    fn finish_serve(&mut self, ctx: &mut NodeCtx<'_>, req_id: u64) {
+    fn finish_serve<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, req_id: u64) {
         let done = ctx
             .cpu
             .charge(ctx.now, self.config.cache_read_cost + self.config.client_reply_cost);
@@ -513,7 +528,7 @@ impl PressNode {
     /// and broadcasts the caching actions. Under pinnable-memory
     /// exhaustion VIA-PRESS-5 sheds cache entries to free pinned pages,
     /// and serves without caching if that is not enough (§5.4).
-    fn cache_insert(&mut self, ctx: &mut NodeCtx<'_>, file: FileId) {
+    fn cache_insert<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, file: FileId) {
         if self.cache.contains(file) {
             return;
         }
@@ -563,7 +578,7 @@ impl PressNode {
     // ------------------------------------------------------------------
 
     /// Handles one of this node's scheduled continuations.
-    pub fn on_app_event(&mut self, ctx: &mut NodeCtx<'_>, ev: AppEvent) {
+    pub fn on_app_event<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, ev: AppEvent) {
         match ev {
             AppEvent::HeartbeatTick => self.heartbeat_tick(ctx),
             AppEvent::RejoinTick => self.rejoin_tick(ctx),
@@ -599,7 +614,7 @@ impl PressNode {
         }
     }
 
-    fn heartbeat_tick(&mut self, ctx: &mut NodeCtx<'_>) {
+    fn heartbeat_tick<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>) {
         if !self.version.heartbeats() {
             return;
         }
@@ -630,7 +645,7 @@ impl PressNode {
         });
     }
 
-    fn rejoin_tick(&mut self, ctx: &mut NodeCtx<'_>) {
+    fn rejoin_tick<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>) {
         if !self.rejoining {
             return;
         }
@@ -662,7 +677,7 @@ impl PressNode {
     /// node we currently exclude and, once reachable, merge the
     /// sub-clusters (§6.2: the "rigorous membership algorithm" the
     /// paper says heartbeats need).
-    fn probe_tick(&mut self, ctx: &mut NodeCtx<'_>) {
+    fn probe_tick<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>) {
         if !self.config.membership_repair {
             return;
         }
@@ -713,7 +728,7 @@ impl PressNode {
         Some(m[(i + m.len() - 1) % m.len()])
     }
 
-    fn exclude(&mut self, ctx: &mut NodeCtx<'_>, peer: NodeId) {
+    fn exclude<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, peer: NodeId) {
         if peer == self.id || !self.members.remove(&peer) {
             return;
         }
@@ -766,7 +781,7 @@ impl PressNode {
         }
     }
 
-    fn admit_member(&mut self, ctx: &mut NodeCtx<'_>, peer: NodeId) {
+    fn admit_member<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, peer: NodeId) {
         self.members.insert(peer);
         self.last_hb.insert(peer, ctx.now);
         if let Some(pred) = self.ring_predecessor() {
@@ -781,7 +796,7 @@ impl PressNode {
     // ------------------------------------------------------------------
 
     /// Handles a transport upcall.
-    pub fn on_upcall(&mut self, ctx: &mut NodeCtx<'_>, upcall: Upcall<PressMsg>) {
+    pub fn on_upcall<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, upcall: Upcall<PressMsg>) {
         match upcall {
             Upcall::Deliver { peer, msg, .. } => self.on_deliver(ctx, peer, msg),
             Upcall::Writable { peer } => self.on_writable(ctx, peer),
@@ -804,7 +819,7 @@ impl PressNode {
         }
     }
 
-    fn on_conn_broken(&mut self, ctx: &mut NodeCtx<'_>, peer: NodeId, reason: BreakReason) {
+    fn on_conn_broken<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, peer: NodeId, reason: BreakReason) {
         if reason == BreakReason::StreamCorrupt {
             // The byte stream lost framing: the process cannot trust any
             // further input on it and terminates (restarted clean).
@@ -828,7 +843,7 @@ impl PressNode {
         }
     }
 
-    fn on_writable(&mut self, ctx: &mut NodeCtx<'_>, peer: NodeId) {
+    fn on_writable<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, peer: NodeId) {
         let Some(stalled) = &self.stalled else {
             return;
         };
@@ -867,7 +882,7 @@ impl PressNode {
 
     /// Replays deferred work after an unfreeze, stopping if the node
     /// re-freezes.
-    fn drain(&mut self, ctx: &mut NodeCtx<'_>) {
+    fn drain<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>) {
         while !self.is_blocked() {
             let Some(item) = self.deferred.pop_front() else {
                 return;
@@ -895,7 +910,7 @@ impl PressNode {
         }
     }
 
-    fn on_deliver(&mut self, ctx: &mut NodeCtx<'_>, peer: NodeId, msg: PressMsg) {
+    fn on_deliver<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, peer: NodeId, msg: PressMsg) {
         // Load information piggybacks on every message (§3).
         if peer.0 < self.load_map.len() {
             self.load_map[peer.0] = msg.load;
@@ -1260,7 +1275,10 @@ mod tests {
             let mut ctx = NodeCtx {
                 now,
                 cpu: &mut self.cpu,
-                sub: &mut self.sub,
+                // Coerce to the dyn-substrate form of `NodeCtx`: the test
+                // rig exercises the trait-object path the generic default
+                // exists for.
+                sub: &mut self.sub as &mut dyn Substrate<PressMsg>,
                 interposer: &mut self.interposer,
                 fx: &mut self.fx,
                 app: &mut self.app,

@@ -5,18 +5,58 @@
 //! scheduled (FIFO), which keeps simulations deterministic without
 //! requiring the event type to be ordered.
 //!
-//! The queue is a hand-rolled `Vec`-backed binary min-heap rather than
-//! `std::collections::BinaryHeap`: the comparator is inlined on the
-//! `(time, seq)` key pair (no `Ord` trait dispatch, no `Reverse`
-//! wrappers), the backing storage is reused across [`Engine::clear`],
-//! and the batch primitives ([`Engine::pop_batch`],
-//! [`Engine::drain_until`]) let driver loops dispatch same-instant
-//! bursts without re-checking the deadline per event or building
-//! intermediate tuples. This queue is the hottest structure in the
-//! whole simulation — every frame, timer, CPU completion, and client
-//! arrival passes through it.
+//! The queue is a hand-rolled 4-ary min-heap over 24-byte
+//! `(time, seq, slot, idx)` keys, with the event payloads parked in a
+//! free-listed slab beside it, rather than `std::collections::BinaryHeap`:
+//!
+//! - the comparator is inlined on the `(time, seq)` key pair (no `Ord`
+//!   trait dispatch, no `Reverse` wrappers);
+//! - sift operations move only the small `Copy` keys — large event
+//!   payloads (frames carrying whole wire messages) never move once
+//!   written into the slab, which matters because queues with tens of
+//!   thousands of pending request-deadline timers make every push/pop a
+//!   multi-level sift;
+//! - the 4-ary layout halves the tree depth of a binary heap and keeps
+//!   sibling comparisons inside one cache line of keys;
+//! - heap, slab, and free list all recycle their storage, so the
+//!   steady-state schedule/dispatch cycle performs no heap allocation;
+//! - the batch primitives ([`Engine::pop_batch`], [`Engine::drain_until`])
+//!   let driver loops dispatch same-instant bursts without re-checking
+//!   the deadline per event or building intermediate tuples;
+//! - a separate O(1) FIFO lane ([`Engine::schedule_fifo`]) absorbs
+//!   monotone event streams — constant-offset timeouts like request
+//!   deadlines and forward watchdogs, which otherwise dominate heap
+//!   depth — and is merged with the heap on pop by the same
+//!   `(time, seq)` total order, so delivery is indistinguishable from
+//!   a single queue;
+//! - [`Engine::schedule_cancellable`] returns a [`CancelToken`] that
+//!   removes an event before delivery (lazy tombstones plus periodic
+//!   compaction when dead entries outnumber live ones), so superseded
+//!   retransmit timers stop transiting the queue.
+//!
+//! This queue is the hottest structure in the whole simulation — every
+//! frame, timer, CPU completion, and client arrival passes through it.
+
+use std::collections::VecDeque;
 
 use crate::time::{SimDuration, SimTime};
+
+/// Sentinel slot id for ordinary (non-cancellable) events.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Slot value meaning "no live entry": cancelled or already delivered.
+const SLOT_DEAD: u64 = u64::MAX;
+
+/// Handle to a cancellable event returned by
+/// [`Engine::schedule_cancellable`]. Passing it to [`Engine::cancel`]
+/// removes the event before it is ever delivered; a token whose event
+/// already fired (or was already cancelled) cancels nothing. Tokens are
+/// cheap value types — storing a stale one is harmless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CancelToken {
+    slot: u32,
+    seq: u64,
+}
 
 /// A deterministic discrete-event queue over events of type `E`.
 ///
@@ -42,18 +82,43 @@ use crate::time::{SimDuration, SimTime};
 pub struct Engine<E> {
     now: SimTime,
     seq: u64,
-    heap: Vec<Scheduled<E>>,
+    /// Monotone lane: events scheduled in non-decreasing time order via
+    /// [`Engine::schedule_fifo`]. Kept sorted by construction, so both
+    /// ends are O(1); merged with the heap on pop by `(time, seq)`.
+    fifo: VecDeque<(SimTime, u64, E)>,
+    /// 4-ary min-heap of small `Copy` keys; payloads live in `slab`.
+    heap: Vec<HeapEntry>,
+    /// Event payloads, indexed by `HeapEntry::idx`. `None` marks a free
+    /// cell (tracked in `free`).
+    slab: Vec<Option<E>>,
+    /// Free slab cells, reused before the slab grows.
+    free: Vec<u32>,
     dispatched: u64,
+    /// `slot -> seq` of the live cancellable entry occupying the slot
+    /// ([`SLOT_DEAD`] when free). Liveness of a popped entry is
+    /// `slots[entry.slot] == entry.seq`; seqs are globally unique, so a
+    /// recycled slot can never resurrect a cancelled entry.
+    slots: Vec<u64>,
+    free_slots: Vec<u32>,
+    /// Cancelled entries still sitting in the heap (discarded, without
+    /// being delivered or counted, when they reach the root).
+    dead_pending: usize,
 }
 
-#[derive(Debug)]
-struct Scheduled<E> {
+/// One queued event's ordering key: 24 bytes, `Copy`, so sift
+/// operations never move the (potentially large) payload.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
     at: SimTime,
     seq: u64,
-    event: E,
+    /// [`NO_SLOT`] for ordinary events; otherwise the cancellation slot
+    /// this entry is registered under.
+    slot: u32,
+    /// Slab cell holding the payload.
+    idx: u32,
 }
 
-impl<E> Scheduled<E> {
+impl HeapEntry {
     /// Min-heap priority: earlier time first, ties broken by insertion
     /// order so simultaneous events stay FIFO.
     #[inline(always)]
@@ -74,8 +139,14 @@ impl<E> Engine<E> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
+            fifo: VecDeque::new(),
             heap: Vec::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
             dispatched: 0,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            dead_pending: 0,
         }
     }
 
@@ -85,10 +156,11 @@ impl<E> Engine<E> {
         self.now
     }
 
-    /// The number of events queued but not yet delivered.
+    /// The number of events queued but not yet delivered (cancelled
+    /// events are not counted, even while their heap entry lingers).
     #[inline]
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.dead_pending + self.fifo.len()
     }
 
     /// Total events delivered so far.
@@ -103,6 +175,44 @@ impl<E> Engine<E> {
     ///
     /// Panics if `at` is earlier than the current time.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.push_entry(at, NO_SLOT, event);
+    }
+
+    /// Schedules `event` at `at` on the monotone lane: an O(1)
+    /// alternative to [`Engine::schedule_at`] for event streams whose
+    /// timestamps never decrease from one `schedule_fifo` call to the
+    /// next (e.g. fixed-offset timeouts stamped `now + T`). Such events
+    /// are already sorted, so keeping them out of the heap leaves it
+    /// holding only the near-term working set — every sift gets
+    /// shallower. Delivery order relative to heap events is unchanged:
+    /// ties at one instant are still FIFO by schedule order.
+    ///
+    /// ```
+    /// use simnet::{Engine, SimTime};
+    ///
+    /// let mut engine = Engine::new();
+    /// engine.schedule_at(SimTime::from_secs(2), "heap");
+    /// engine.schedule_fifo(SimTime::from_secs(1), "early");
+    /// engine.schedule_fifo(SimTime::from_secs(3), "late");
+    /// let order: Vec<_> = std::iter::from_fn(|| engine.pop()).map(|(_, e)| e).collect();
+    /// assert_eq!(order, ["early", "heap", "late"]);
+    /// ```
+    ///
+    /// An event breaking monotonicity (earlier than the lane's newest
+    /// entry) is placed on the heap instead — same delivery order,
+    /// ordinary cost — so monotonicity is a performance hint, never a
+    /// correctness obligation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_fifo(&mut self, at: SimTime, event: E) {
+        if let Some(&(back, _, _)) = self.fifo.back() {
+            if at < back {
+                self.push_entry(at, NO_SLOT, event);
+                return;
+            }
+        }
         assert!(
             at >= self.now,
             "scheduled event at {at} before current time {}",
@@ -110,8 +220,139 @@ impl<E> Engine<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.fifo.push_back((at, seq, event));
+    }
+
+    /// Schedules `event` at `at` like [`Engine::schedule_at`], returning
+    /// a token that can later [`Engine::cancel`] it. A cancelled event
+    /// is never delivered and never counts as dispatched — this is how
+    /// superseded transport timers are kept out of the dispatch path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> CancelToken {
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                assert!(self.slots.len() < NO_SLOT as usize, "cancellable slots exhausted");
+                self.slots.push(SLOT_DEAD);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let seq = self.seq; // push_entry consumes this seq
+        self.slots[slot as usize] = seq;
+        self.push_entry(at, slot, event);
+        CancelToken { slot, seq }
+    }
+
+    /// Cancels a pending event scheduled with
+    /// [`Engine::schedule_cancellable`]. Returns `true` if the event was
+    /// still pending (it will now never be delivered); `false` if it had
+    /// already fired or been cancelled. O(1): the heap entry is
+    /// tombstoned and silently discarded when it surfaces.
+    pub fn cancel(&mut self, token: CancelToken) -> bool {
+        let live = self
+            .slots
+            .get(token.slot as usize)
+            .is_some_and(|&s| s == token.seq);
+        if live {
+            self.release_slot(token.slot);
+            self.dead_pending += 1;
+            // Keep the heap at most half tombstones: workloads that
+            // cancel nearly everything they schedule (request deadlines
+            // superseded by completions milliseconds later) would
+            // otherwise drag a mostly-dead heap around for the full
+            // timer horizon, paying deep sifts on every live pop.
+            if self.dead_pending * 2 > self.heap.len() && self.heap.len() >= 64 {
+                self.compact();
+            }
+        }
+        live
+    }
+
+    /// Drops every tombstoned entry and restores the heap property over
+    /// the survivors. O(len), amortized O(1) per cancellation by the
+    /// half-dead trigger in [`Engine::cancel`]. Pop order is a total
+    /// order on `(time, seq)`, so rebuilding cannot reorder deliveries.
+    fn compact(&mut self) {
+        let Engine {
+            heap,
+            slab,
+            free,
+            slots,
+            ..
+        } = self;
+        heap.retain(|s| {
+            let live = s.slot == NO_SLOT || slots[s.slot as usize] == s.seq;
+            if !live {
+                slab[s.idx as usize] = None;
+                free.push(s.idx);
+            }
+            live
+        });
+        self.dead_pending = 0;
+        if self.heap.len() > 1 {
+            for i in (0..=(self.heap.len() - 2) / 4).rev() {
+                self.sift_down(i);
+            }
+        }
+    }
+
+    fn push_entry(&mut self, at: SimTime, slot: u32, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} before current time {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(event);
+                i
+            }
+            None => {
+                self.slab.push(Some(event));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.heap.push(HeapEntry { at, seq, slot, idx });
         self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Vacates slab cell `idx`, returning its payload.
+    #[inline]
+    fn take_event(&mut self, idx: u32) -> E {
+        self.free.push(idx);
+        self.slab[idx as usize].take().expect("slab cell occupied")
+    }
+
+    /// Marks `slot` free for reuse (on cancellation or delivery).
+    #[inline]
+    fn release_slot(&mut self, slot: u32) {
+        self.slots[slot as usize] = SLOT_DEAD;
+        self.free_slots.push(slot);
+    }
+
+    /// Whether a heap entry is still deliverable.
+    #[inline(always)]
+    fn is_live(&self, s: &HeapEntry) -> bool {
+        s.slot == NO_SLOT || self.slots[s.slot as usize] == s.seq
+    }
+
+    /// Discards cancelled entries sitting at the heap root, so the root
+    /// (if any) is a deliverable event.
+    #[inline]
+    fn prune_dead_roots(&mut self) {
+        while let Some(s) = self.heap.first() {
+            if self.is_live(s) {
+                break;
+            }
+            let s = self.pop_root().expect("peeked root exists");
+            drop(self.take_event(s.idx));
+            self.dead_pending -= 1;
+        }
     }
 
     /// Schedules `event` after a delay relative to the current time.
@@ -120,20 +361,67 @@ impl<E> Engine<E> {
         self.schedule_at(self.now + delay, event);
     }
 
-    /// Timestamp of the next event, if any.
+    /// Timestamp of the next event, if any. May report the timestamp of
+    /// a cancelled entry that has not been discarded yet — i.e. a lower
+    /// bound on the next deliverable event's time.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.first().map(|s| s.at)
+        let h = self.heap.first().map(|s| s.at);
+        let f = self.fifo.front().map(|&(at, _, _)| at);
+        match (h, f) {
+            (Some(h), Some(f)) => Some(h.min(f)),
+            (x, y) => x.or(y),
+        }
+    }
+
+    /// Ordering key `(time, seq)` of the next deliverable event, plus
+    /// whether it sits on the monotone lane. Prunes cancelled heap
+    /// entries, so the reported key is always live.
+    #[inline]
+    fn next_key(&mut self) -> Option<(SimTime, u64, bool)> {
+        self.prune_dead_roots();
+        let h = self.heap.first().map(|s| (s.at, s.seq));
+        let f = self.fifo.front().map(|&(at, seq, _)| (at, seq));
+        match (h, f) {
+            (Some(h), Some(f)) => {
+                if f < h {
+                    Some((f.0, f.1, true))
+                } else {
+                    Some((h.0, h.1, false))
+                }
+            }
+            (Some(h), None) => Some((h.0, h.1, false)),
+            (None, Some(f)) => Some((f.0, f.1, true)),
+            (None, None) => None,
+        }
+    }
+
+    /// Removes the next deliverable event from whichever lane holds it.
+    /// Caller must have just obtained `from_fifo` from
+    /// [`Engine::next_key`] (the heap root is then known live).
+    #[inline]
+    fn take_next(&mut self, from_fifo: bool) -> E {
+        if from_fifo {
+            self.fifo.pop_front().expect("peeked fifo front").2
+        } else {
+            let s = self.pop_root().expect("peeked heap root");
+            debug_assert!(self.is_live(&s));
+            if s.slot != NO_SLOT {
+                self.release_slot(s.slot);
+            }
+            self.take_event(s.idx)
+        }
     }
 
     /// Removes and returns the next event, advancing the clock to its
-    /// timestamp.
+    /// timestamp. Cancelled entries are discarded silently.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.pop_root()?;
-        debug_assert!(s.at >= self.now);
-        self.now = s.at;
+        let (at, _, from_fifo) = self.next_key()?;
+        let event = self.take_next(from_fifo);
+        debug_assert!(at >= self.now);
+        self.now = at;
         self.dispatched += 1;
-        Some((s.at, s.event))
+        Some((at, event))
     }
 
     /// Like [`Engine::pop`], but leaves events after `deadline` queued and
@@ -154,8 +442,13 @@ impl<E> Engine<E> {
     /// assert_eq!(engine.pending(), 1);
     /// ```
     pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
-        match self.heap.first() {
-            Some(s) if s.at <= deadline => self.pop(),
+        match self.next_key() {
+            Some((at, _, from_fifo)) if at <= deadline => {
+                let event = self.take_next(from_fifo);
+                self.now = at;
+                self.dispatched += 1;
+                Some((at, event))
+            }
             _ => {
                 if self.now < deadline {
                     self.now = deadline;
@@ -182,17 +475,51 @@ impl<E> Engine<E> {
     /// assert_eq!(burst, ["a", "b"]);
     /// ```
     pub fn pop_batch(&mut self, buf: &mut Vec<E>) -> Option<SimTime> {
-        let t = self.peek_time()?;
-        while let Some(s) = self.heap.first() {
-            if s.at != t {
+        let (t, _, from_fifo) = self.next_key()?;
+        buf.push(self.take_next(from_fifo));
+        self.dispatched += 1;
+        while let Some((at, _, from_fifo)) = self.next_key() {
+            if at != t {
                 break;
             }
-            let s = self.pop_root().expect("peeked root exists");
+            buf.push(self.take_next(from_fifo));
             self.dispatched += 1;
-            buf.push(s.event);
         }
         self.now = t;
         Some(t)
+    }
+
+    /// Like [`Engine::pop_batch`], but only takes a burst at or before
+    /// `deadline`; when the next deliverable event lies beyond it (or
+    /// the queue is empty) the clock advances to `deadline` and `None`
+    /// is returned. This is the batched driver-loop primitive:
+    ///
+    /// ```
+    /// use simnet::{Engine, SimTime};
+    ///
+    /// let mut engine = Engine::new();
+    /// engine.schedule_at(SimTime::from_secs(1), "a");
+    /// engine.schedule_at(SimTime::from_secs(1), "b");
+    /// engine.schedule_at(SimTime::from_secs(9), "late");
+    /// let deadline = SimTime::from_secs(5);
+    /// let mut burst = Vec::new();
+    /// assert_eq!(engine.pop_batch_before(deadline, &mut burst), Some(SimTime::from_secs(1)));
+    /// assert_eq!(burst, ["a", "b"]);
+    /// burst.clear();
+    /// assert_eq!(engine.pop_batch_before(deadline, &mut burst), None);
+    /// assert_eq!(engine.now(), deadline);
+    /// assert_eq!(engine.pending(), 1);
+    /// ```
+    pub fn pop_batch_before(&mut self, deadline: SimTime, buf: &mut Vec<E>) -> Option<SimTime> {
+        match self.next_key() {
+            Some((at, _, _)) if at <= deadline => self.pop_batch(buf),
+            _ => {
+                if self.now < deadline {
+                    self.now = deadline;
+                }
+                None
+            }
+        }
     }
 
     /// Dispatches every event up to and including `deadline` straight to
@@ -203,14 +530,14 @@ impl<E> Engine<E> {
     /// `f` must not schedule into the engine (it does not have access);
     /// use this for terminal dispatch such as draining into a recorder.
     pub fn drain_until<F: FnMut(SimTime, E)>(&mut self, deadline: SimTime, mut f: F) {
-        while let Some(s) = self.heap.first() {
-            if s.at > deadline {
+        while let Some((at, _, from_fifo)) = self.next_key() {
+            if at > deadline {
                 break;
             }
-            let s = self.pop_root().expect("peeked root exists");
-            self.now = s.at;
+            let event = self.take_next(from_fifo);
+            self.now = at;
             self.dispatched += 1;
-            f(s.at, s.event);
+            f(at, event);
         }
         if self.now < deadline {
             self.now = deadline;
@@ -220,12 +547,18 @@ impl<E> Engine<E> {
     /// Discards all queued events without delivering them. The backing
     /// allocation is retained for reuse.
     pub fn clear(&mut self) {
+        self.fifo.clear();
         self.heap.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.slots.clear();
+        self.free_slots.clear();
+        self.dead_pending = 0;
     }
 
     /// Removes the minimum element, restoring the heap property.
     #[inline]
-    fn pop_root(&mut self) -> Option<Scheduled<E>> {
+    fn pop_root(&mut self) -> Option<HeapEntry> {
         let len = self.heap.len();
         if len == 0 {
             return None;
@@ -237,39 +570,51 @@ impl<E> Engine<E> {
         Some(root)
     }
 
+    /// Moves `heap[idx]` towards the root until its parent is no later.
+    /// Hole technique: parents shift down into the hole and the entry is
+    /// written once at its final position.
     #[inline]
     fn sift_up(&mut self, mut idx: usize) {
+        let entry = self.heap[idx];
         while idx > 0 {
-            let parent = (idx - 1) / 2;
-            if self.heap[idx].before(&self.heap[parent]) {
-                self.heap.swap(idx, parent);
+            let parent = (idx - 1) / 4;
+            if entry.before(&self.heap[parent]) {
+                self.heap[idx] = self.heap[parent];
                 idx = parent;
             } else {
                 break;
             }
         }
+        self.heap[idx] = entry;
     }
 
+    /// Moves `heap[idx]` towards the leaves until no child is earlier.
+    /// 4-ary: half the depth of a binary heap, and the up-to-four child
+    /// keys scanned per level sit adjacent in memory.
     #[inline]
     fn sift_down(&mut self, mut idx: usize) {
         let len = self.heap.len();
+        let entry = self.heap[idx];
         loop {
-            let left = 2 * idx + 1;
-            if left >= len {
+            let first = 4 * idx + 1;
+            if first >= len {
                 break;
             }
-            let right = left + 1;
-            let mut smallest = left;
-            if right < len && self.heap[right].before(&self.heap[left]) {
-                smallest = right;
+            let last = (first + 4).min(len);
+            let mut best = first;
+            for c in first + 1..last {
+                if self.heap[c].before(&self.heap[best]) {
+                    best = c;
+                }
             }
-            if self.heap[smallest].before(&self.heap[idx]) {
-                self.heap.swap(idx, smallest);
-                idx = smallest;
+            if self.heap[best].before(&entry) {
+                self.heap[idx] = self.heap[best];
+                idx = best;
             } else {
                 break;
             }
         }
+        self.heap[idx] = entry;
     }
 }
 
@@ -393,6 +738,129 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_event_is_never_delivered() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), "a");
+        let tok = e.schedule_cancellable(SimTime::from_secs(2), "cancelled");
+        e.schedule_at(SimTime::from_secs(3), "c");
+        assert_eq!(e.pending(), 3);
+        assert!(e.cancel(tok));
+        assert_eq!(e.pending(), 2);
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, ["a", "c"]);
+        assert_eq!(e.dispatched(), 2);
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false() {
+        let mut e = Engine::new();
+        let tok = e.schedule_cancellable(SimTime::from_secs(1), ());
+        assert_eq!(e.pop().unwrap().0, SimTime::from_secs(1));
+        assert!(!e.cancel(tok));
+    }
+
+    #[test]
+    fn double_cancel_returns_false() {
+        let mut e = Engine::new();
+        let tok = e.schedule_cancellable(SimTime::from_secs(1), ());
+        assert!(e.cancel(tok));
+        assert!(!e.cancel(tok));
+        assert_eq!(e.pending(), 0);
+        assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn stale_token_does_not_cancel_slot_reuser() {
+        let mut e = Engine::new();
+        let old = e.schedule_cancellable(SimTime::from_secs(1), "old");
+        assert!(e.cancel(old));
+        // The freed slot is reused by the next cancellable entry; the old
+        // token must not be able to kill it.
+        let _new = e.schedule_cancellable(SimTime::from_secs(2), "new");
+        assert!(!e.cancel(old));
+        assert_eq!(e.pop().unwrap().1, "new");
+    }
+
+    #[test]
+    fn fifo_order_is_unaffected_by_interleaved_cancellations() {
+        let mut e = Engine::new();
+        let t = SimTime::from_secs(4);
+        let mut tokens = Vec::new();
+        for i in 0..20 {
+            if i % 3 == 0 {
+                tokens.push(e.schedule_cancellable(t, i));
+            } else {
+                e.schedule_at(t, i);
+            }
+        }
+        for tok in tokens {
+            assert!(e.cancel(tok));
+        }
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, v)| v).collect();
+        let expect: Vec<_> = (0..20).filter(|i| i % 3 != 0).collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn pop_batch_and_drain_skip_cancelled_entries() {
+        let build = |cancel: bool| {
+            let mut e = Engine::new();
+            e.schedule_at(SimTime::from_secs(1), 0);
+            let tok = e.schedule_cancellable(SimTime::from_secs(1), 99);
+            e.schedule_at(SimTime::from_secs(1), 1);
+            let tok2 = e.schedule_cancellable(SimTime::from_secs(2), 98);
+            e.schedule_at(SimTime::from_secs(3), 2);
+            if cancel {
+                assert!(e.cancel(tok));
+                assert!(e.cancel(tok2));
+            }
+            e
+        };
+        let mut e = build(true);
+        let mut burst = Vec::new();
+        assert_eq!(e.pop_batch(&mut burst), Some(SimTime::from_secs(1)));
+        assert_eq!(burst, [0, 1]);
+        // The instant-2 entry is cancelled, so the next burst is at t=3.
+        burst.clear();
+        assert_eq!(e.pop_batch(&mut burst), Some(SimTime::from_secs(3)));
+        assert_eq!(burst, [2]);
+        assert_eq!(e.dispatched(), 3);
+
+        let mut d = build(true);
+        let mut seen = Vec::new();
+        d.drain_until(SimTime::from_secs(10), |t, ev| seen.push((t, ev)));
+        assert_eq!(
+            seen,
+            [
+                (SimTime::from_secs(1), 0),
+                (SimTime::from_secs(1), 1),
+                (SimTime::from_secs(3), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn pop_batch_before_advances_past_cancelled_tail() {
+        let mut e = Engine::new();
+        let tok = e.schedule_cancellable(SimTime::from_secs(1), ());
+        assert!(e.cancel(tok));
+        let mut burst = Vec::new();
+        let deadline = SimTime::from_secs(5);
+        assert_eq!(e.pop_batch_before(deadline, &mut burst), None);
+        assert!(burst.is_empty());
+        assert_eq!(e.now(), deadline);
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn uncancelled_cancellable_events_deliver_normally() {
+        let mut e = Engine::new();
+        let _tok = e.schedule_cancellable(SimTime::from_secs(1), "kept");
+        assert_eq!(e.pop(), Some((SimTime::from_secs(1), "kept")));
+        assert_eq!(e.dispatched(), 1);
+    }
+
+    #[test]
     fn clear_retains_capacity() {
         let mut e = Engine::with_capacity(64);
         for i in 0..40 {
@@ -402,5 +870,75 @@ mod tests {
         e.clear();
         assert_eq!(e.pending(), 0);
         assert!(e.heap.capacity() >= cap);
+    }
+
+    #[test]
+    fn fifo_lane_merges_with_heap_in_global_order() {
+        // Interleave heap and monotone-lane scheduling; delivery must
+        // follow the single global (time, insertion-seq) order exactly
+        // as if everything had gone through the heap.
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_secs(2), "heap-2");
+        e.schedule_fifo(SimTime::from_secs(1), "fifo-1");
+        e.schedule_at(SimTime::from_secs(3), "heap-3a");
+        e.schedule_fifo(SimTime::from_secs(3), "fifo-3");
+        e.schedule_at(SimTime::from_secs(3), "heap-3b");
+        assert_eq!(e.pending(), 5);
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, ["fifo-1", "heap-2", "heap-3a", "fifo-3", "heap-3b"]);
+        assert_eq!(e.dispatched(), 5);
+    }
+
+    #[test]
+    fn fifo_out_of_order_push_falls_back_to_heap() {
+        // The monotone lane is a performance hint, not a contract: a
+        // timestamp below the lane's back is routed to the heap and
+        // still delivers in time order.
+        let mut e = Engine::new();
+        e.schedule_fifo(SimTime::from_secs(10), "late");
+        e.schedule_fifo(SimTime::from_secs(5), "early");
+        assert_eq!(e.pending(), 2);
+        assert_eq!(e.pop(), Some((SimTime::from_secs(5), "early")));
+        assert_eq!(e.pop(), Some((SimTime::from_secs(10), "late")));
+    }
+
+    #[test]
+    fn fifo_lane_ties_preserve_submission_order() {
+        let mut e = Engine::new();
+        let t = SimTime::from_secs(4);
+        for i in 0..50 {
+            if i % 2 == 0 {
+                e.schedule_at(t, i);
+            } else {
+                e.schedule_fifo(t, i);
+            }
+        }
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_and_drain_cover_the_fifo_lane() {
+        let mut e = Engine::new();
+        e.schedule_fifo(SimTime::from_secs(1), 1);
+        e.schedule_at(SimTime::from_secs(1), 2);
+        e.schedule_fifo(SimTime::from_secs(2), 3);
+        let mut burst = Vec::new();
+        assert_eq!(e.pop_batch(&mut burst), Some(SimTime::from_secs(1)));
+        assert_eq!(burst, [1, 2]);
+        let mut rest = Vec::new();
+        e.drain_until(SimTime::from_secs(5), |_, ev| rest.push(ev));
+        assert_eq!(rest, [3]);
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn clear_empties_the_fifo_lane() {
+        let mut e = Engine::new();
+        e.schedule_fifo(SimTime::from_secs(1), ());
+        e.schedule_at(SimTime::from_secs(2), ());
+        e.clear();
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.pop(), None);
     }
 }

@@ -37,7 +37,7 @@ pub mod stats;
 pub mod time;
 
 pub use cpu::CpuMeter;
-pub use engine::Engine;
+pub use engine::{CancelToken, Engine};
 pub use fabric::{Fabric, FabricConfig, Frame, NodeId, TransmitOutcome};
 pub use rng::SimRng;
 pub use stats::{AvailabilityCounter, LatencyHistogram, ThroughputRecorder, TimeSeries};

@@ -21,6 +21,7 @@
 
 pub mod api;
 pub mod cost;
+pub mod substrate_impl;
 pub mod tcp;
 pub mod via;
 
@@ -29,5 +30,6 @@ pub use api::{
     SendInterposer, SendStatus, Substrate, TimerKey, TimerKind, Upcall, WirePayload,
 };
 pub use cost::CostModel;
+pub use substrate_impl::SubstrateImpl;
 pub use tcp::{TcpConfig, TcpStack};
 pub use via::{ViaConfig, ViaMode, ViaNic};

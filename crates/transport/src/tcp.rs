@@ -1321,6 +1321,46 @@ mod tests {
     }
 
     #[test]
+    fn superseded_retransmit_timer_is_inert() {
+        let (mut a, mut b) = pair();
+        connect(&mut a, &mut b);
+        let mut out = Vec::new();
+        a.send(SimTime::ZERO, NodeId(1), MsgClass::Forward, "m", 64, CallParams::default(), &mut out);
+        let old = first_timer(&out, TimerKind::Retransmit).expect("retransmit timer armed");
+        // The segment is lost; the firing timer retransmits and re-arms
+        // with a fresh gen, superseding `old`.
+        let mut out = Vec::new();
+        a.timer_fired(old.0, old.1, &mut out);
+        let new = first_timer(&out, TimerKind::Retransmit).expect("re-armed");
+        assert!(new.1.gen > old.1.gen, "re-arm must supersede the old gen");
+        assert_eq!(a.stats().retransmissions, 1);
+        // The superseded key must never act again: no effects, no
+        // retransmission, no timer churn.
+        let mut out = Vec::new();
+        a.timer_fired(new.0, old.1, &mut out);
+        assert!(out.is_empty(), "stale timer produced effects: {out:?}");
+        assert_eq!(a.stats().retransmissions, 1);
+        drop(b);
+    }
+
+    #[test]
+    fn superseded_connect_timer_is_inert() {
+        let (mut a, _b) = pair();
+        let mut out = Vec::new();
+        a.open(SimTime::ZERO, NodeId(1), &mut out);
+        let old = first_timer(&out, TimerKind::Connect).expect("connect retry armed");
+        // The SYN goes nowhere; the retry fires and re-arms.
+        let mut out = Vec::new();
+        a.timer_fired(old.0, old.1, &mut out);
+        let new = first_timer(&out, TimerKind::Connect).expect("retry re-armed");
+        assert!(new.1.gen > old.1.gen);
+        // Firing the superseded key again must be a pure no-op.
+        let mut out = Vec::new();
+        a.timer_fired(new.0, old.1, &mut out);
+        assert!(out.is_empty(), "stale timer produced effects: {out:?}");
+    }
+
+    #[test]
     fn rto_backs_off_exponentially_and_aborts_eventually() {
         let cfg = TcpConfig::default();
         let (mut a, mut b) = pair();

@@ -141,18 +141,23 @@ impl ClientPool {
     }
 
     /// The server's response left at `at`; scores a success if the
-    /// client was still waiting.
-    pub fn complete(&mut self, at: SimTime, req_id: u64) {
+    /// client was still waiting. Returns `true` when the request was
+    /// scored (closed): its pending deadline is now a guaranteed no-op,
+    /// so the composition layer may cancel the deadline event instead
+    /// of letting it transit the queue.
+    pub fn complete(&mut self, at: SimTime, req_id: u64) -> bool {
         if let Some((deadline, issued)) = self.outstanding.get(&req_id).copied() {
             if at <= deadline {
                 self.outstanding.remove(&req_id);
                 self.counter.successes += 1;
                 self.recorder.record(at);
                 self.latency.record(at.saturating_since(issued).as_secs_f64());
+                return true;
             }
             // A response after the deadline is scored by the deadline
             // event instead.
         }
+        false
     }
 
     /// A deadline fired; scores a timeout if the request is still open.

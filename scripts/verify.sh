@@ -6,7 +6,9 @@
 # and diff stdout against the checked-in sequential captures, so they
 # verify both the harness output and the byte-identity of the parallel
 # runner in one step. `--timing` output goes to stderr and
-# BENCH_repro.json, which this script preserves.
+# BENCH_repro.json, which this script preserves. The timed table1 run
+# also gates on events dispatched: the optimized event loop may not
+# dispatch more events than the seed loop that produced the goldens.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +23,7 @@ cargo test -q --workspace
 
 echo "== repro table1 --small --timing vs golden"
 tmp_out=$(mktemp)
+tmp_err=$(mktemp)
 tmp_json=$(mktemp)
 had_json=0
 if [ -f BENCH_repro.json ]; then
@@ -28,7 +31,7 @@ if [ -f BENCH_repro.json ]; then
     had_json=1
 fi
 restore() {
-    rm -f "$tmp_out"
+    rm -f "$tmp_out" "$tmp_err"
     if [ "$had_json" -eq 1 ]; then
         mv "$tmp_json" BENCH_repro.json
     else
@@ -37,8 +40,28 @@ restore() {
 }
 trap restore EXIT
 
-cargo run --release -q -p bench --bin repro -- table1 --small --timing --jobs 0 >"$tmp_out"
+cargo run --release -q -p bench --bin repro -- table1 --small --timing --jobs 0 >"$tmp_out" 2>"$tmp_err"
+cat "$tmp_err" >&2
 diff -u scripts/golden_table1_small.txt "$tmp_out"
+
+echo "== stale-timer gate: events dispatched must not grow"
+# The seed event loop dispatched 1,167,954 events producing the
+# committed small table1 golden. True timer cancellation may only
+# REMOVE no-op dispatches (superseded retransmit timers) — if the
+# count ever rises above the seed's, something is scheduling events
+# the old loop never saw, and the "bit-identical goldens" claim is
+# luck rather than equivalence.
+seed_events=1167954
+events=$(awk '$1 == "table1" { print $4; exit }' "$tmp_err")
+if [ -z "$events" ]; then
+    echo "stale-timer gate: could not parse events from --timing output" >&2
+    exit 1
+fi
+echo "   table1 --small dispatched $events events (seed: $seed_events)"
+if [ "$events" -gt "$seed_events" ]; then
+    echo "stale-timer gate: $events events dispatched > seed $seed_events" >&2
+    exit 1
+fi
 
 echo "== repro fig3 --small vs golden"
 cargo run --release -q -p bench --bin repro -- fig3 --small --jobs 0 >"$tmp_out" 2>/dev/null
