@@ -9,7 +9,7 @@
 //! where `<target>` is one of `table1`, `table2`, `table3`, `fig2`,
 //! `fig3`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `offbyn`, `crossover`, `ablation-membership`, `ablation-heartbeat`,
-//! or `all`. `--small` runs on the shrunk
+//! `audit`, or `all`. `--small` runs on the shrunk
 //! test-bed (fast, for smoke-testing the harness; numbers will differ
 //! from the paper's scale).
 //!
@@ -28,20 +28,33 @@
 //! byte-identical for a given seed, independent of `--jobs`.
 //! `--trace-jsonl <out.jsonl>` writes the same events as a JSONL event
 //! log. `--metrics` prints each traced run's metrics summary to stdout
-//! after the figure text.
+//! after the figure text (for `table1`, it prints the per-version
+//! workload metrics instead).
+//!
+//! `--report <out.html>` (timeline targets `fig2`–`fig5` only) also
+//! writes a single-file HTML dashboard for the target: throughput
+//! timelines with stage bands and the blind-fit overlay, per-stage
+//! latency percentiles, the phase-2 projection, and the audit verdict.
+//! The file is byte-identical for a fixed seed, independent of
+//! `--jobs`.
+//!
+//! The `audit` target runs the blind stage-segmentation audit over all
+//! 11 measured faults × 5 versions and exits non-zero if any run's
+//! blind change-point fit disagrees with its log-derived markers.
 
 use std::env;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use experiments::figures::{
     ablation_heartbeat, ablation_membership, build_profiles, crossover, fig10, fig2, fig3, fig4,
-    fig5, fig6, fig7, fig8, fig9, off_by_n_summary, table1, table2, table3, traced_timeline,
-    REPRO_SEED,
+    fig5, fig6, fig7, fig8, fig9, off_by_n_summary, table1, table1_metrics, table2, table3,
+    timeline_results, traced_timeline, REPRO_SEED,
 };
-use experiments::phase2::RunScale;
+use experiments::phase2::{profile_fault_runs, RunScale};
 use experiments::{effective_jobs, events_dispatched_total};
 use performability::fault_load::DAY;
+use press::PressVersion;
+use telemetry::json::JsonValue;
 
 /// One timed target for the `--timing` report.
 struct Timing {
@@ -60,80 +73,163 @@ impl Timing {
     }
 }
 
-/// Pulls the one-line entries out of an existing `"history": [...]`
-/// array (string-level: the file is our own output, no JSON parser in
-/// the tree).
-fn extract_history(old: &str) -> Vec<String> {
-    let Some(start) = old.find("\"history\": [") else {
-        return Vec::new();
-    };
-    let rest = &old[start + "\"history\": [".len()..];
-    let Some(end) = rest.find(']') else {
-        return Vec::new();
-    };
-    rest[..end]
-        .lines()
-        .map(str::trim)
-        .filter(|l| l.starts_with('{'))
-        .map(|l| l.trim_end_matches(',').to_string())
-        .collect()
+fn scale_name(scale: RunScale) -> &'static str {
+    match scale {
+        RunScale::Paper => "paper",
+        RunScale::Small => "small",
+    }
+}
+
+/// Builds a JSON object from string keys (sorted on output by the
+/// [`JsonValue`] printer).
+fn jobj(pairs: &[(&str, JsonValue)]) -> JsonValue {
+    JsonValue::Object(
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    )
+}
+
+/// Rounds to 3 decimals so wall-clock floats stay short in the file.
+fn ms3(v: f64) -> JsonValue {
+    JsonValue::Float((v * 1000.0).round() / 1000.0)
+}
+
+/// Whether a history entry carries the full expected schema. Entries
+/// from older/foreign formats are dropped rather than propagated.
+fn history_entry_valid(e: &JsonValue) -> bool {
+    e.get("scale").and_then(JsonValue::as_str).is_some()
+        && e.get("seed").and_then(JsonValue::as_i64).is_some()
+        && e.get("jobs").and_then(JsonValue::as_i64).is_some()
+        && e.get("targets").and_then(JsonValue::as_i64).is_some()
+        && e.get("total_wall_s").and_then(JsonValue::as_f64).is_some()
+        && e.get("total_events").and_then(JsonValue::as_i64).is_some()
 }
 
 fn write_bench_json(path: &str, scale: RunScale, seed: u64, jobs: usize, timings: &[Timing]) {
     let total_wall: f64 = timings.iter().map(|t| t.wall_s).sum();
     let total_events: u64 = timings.iter().map(|t| t.events).sum();
-    let mut history = std::fs::read_to_string(path)
-        .map(|old| extract_history(&old))
-        .unwrap_or_default();
-    history.push(format!(
-        "{{\"scale\": \"{}\", \"seed\": {seed}, \"jobs\": {jobs}, \"targets\": {}, \"total_wall_s\": {total_wall:.3}, \"total_events\": {total_events}}}",
-        match scale {
-            RunScale::Paper => "paper",
-            RunScale::Small => "small",
-        },
-        timings.len(),
-    ));
-    // Keep the file bounded: the last 20 runs are plenty of history.
+
+    // Carry forward the existing history (schema-validated entries
+    // only), then append this run and keep the last 20.
+    let mut history: Vec<JsonValue> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|old| telemetry::json::parse(&old).ok())
+        .and_then(|doc| {
+            doc.get("history")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::to_vec)
+        })
+        .unwrap_or_default()
+        .into_iter()
+        .filter(history_entry_valid)
+        .collect();
+    history.push(jobj(&[
+        ("scale", JsonValue::Str(scale_name(scale).to_string())),
+        ("seed", JsonValue::Int(seed as i64)),
+        ("jobs", JsonValue::Int(jobs as i64)),
+        ("targets", JsonValue::Int(timings.len() as i64)),
+        ("total_wall_s", ms3(total_wall)),
+        ("total_events", JsonValue::Int(total_events as i64)),
+    ]));
     if history.len() > 20 {
         let drop = history.len() - 20;
         history.drain(..drop);
     }
-    let mut json = String::from("{\n");
-    let _ = writeln!(
-        json,
-        "  \"scale\": \"{}\",",
-        match scale {
-            RunScale::Paper => "paper",
-            RunScale::Small => "small",
-        }
-    );
-    let _ = writeln!(json, "  \"seed\": {seed},");
-    let _ = writeln!(json, "  \"jobs\": {jobs},");
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let _ = writeln!(json, "  \"host_cores\": {cores},");
-    let _ = writeln!(json, "  \"total_wall_s\": {total_wall:.3},");
-    let _ = writeln!(json, "  \"total_events\": {total_events},");
-    json.push_str("  \"targets\": [\n");
-    for (i, t) in timings.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}",
-            t.name,
-            t.wall_s,
-            t.events,
-            t.events_per_sec()
-        );
-        json.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ],\n  \"history\": [\n");
-    for (i, h) in history.iter().enumerate() {
-        json.push_str("    ");
-        json.push_str(h);
-        json.push_str(if i + 1 < history.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-    if let Err(e) = std::fs::write(path, json) {
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let targets = timings
+        .iter()
+        .map(|t| {
+            jobj(&[
+                ("name", JsonValue::Str(t.name.clone())),
+                ("wall_s", ms3(t.wall_s)),
+                ("events", JsonValue::Int(t.events as i64)),
+                ("events_per_sec", JsonValue::Int(t.events_per_sec().round() as i64)),
+            ])
+        })
+        .collect();
+    let doc = jobj(&[
+        ("scale", JsonValue::Str(scale_name(scale).to_string())),
+        ("seed", JsonValue::Int(seed as i64)),
+        ("jobs", JsonValue::Int(jobs as i64)),
+        ("host_cores", JsonValue::Int(cores as i64)),
+        ("total_wall_s", ms3(total_wall)),
+        ("total_events", JsonValue::Int(total_events as i64)),
+        ("targets", JsonValue::Array(targets)),
+        ("history", JsonValue::Array(history)),
+    ]);
+    if let Err(e) = std::fs::write(path, doc.to_pretty()) {
         eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+/// Builds the HTML dashboard for a timeline target from its already-run
+/// results, pulling the wall-time history from `BENCH_repro.json` if
+/// one exists next to the workspace root.
+fn build_report(
+    target: &str,
+    figure_text: &str,
+    runs: &[experiments::phase1::FaultRunResult],
+    scale: RunScale,
+    seed: u64,
+) -> String {
+    let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repro.json");
+    let history = std::fs::read_to_string(bench_path)
+        .map(|text| report::parse_bench_history(&text))
+        .unwrap_or_default();
+    let meta = report::ReportMeta {
+        target: target.to_string(),
+        title: figure_text
+            .lines()
+            .next()
+            .unwrap_or(target)
+            .trim()
+            .to_string(),
+        scale: scale_name(scale).to_string(),
+        seed,
+    };
+    report::render_report(&meta, runs, &history)
+}
+
+/// The `audit` target: blind stage segmentation vs the run log for all
+/// 11 measured faults × 5 versions. Returns the process exit code.
+fn run_audit(scale: RunScale, seed: u64, jobs: usize) -> i32 {
+    eprintln!("auditing stage segmentation (11 faults x 5 versions)...");
+    let runs = profile_fault_runs(&PressVersion::ALL, scale, seed, jobs);
+    let audits: Vec<report::RunAudit> = runs.iter().map(report::audit_run).collect();
+    println!(
+        "== blind stage-segmentation audit (scale {}, seed {seed}, {} runs) ==",
+        scale_name(scale),
+        audits.len()
+    );
+    let mut failed = 0usize;
+    for a in &audits {
+        let verdict = if a.pass() { "agree" } else { "DISAGREE" };
+        println!(
+            "{:<46} {:>2} segments  {verdict}",
+            a.label,
+            a.segments.len()
+        );
+        for f in &a.findings {
+            println!("    {}: {}", f.kind, f.describe());
+        }
+        if !a.pass() {
+            failed += 1;
+        }
+    }
+    if failed == 0 {
+        println!("audit: all {} runs agree with the blind fit", audits.len());
+        0
+    } else {
+        println!(
+            "audit: {failed}/{} runs disagree with the blind fit",
+            audits.len()
+        );
+        1
     }
 }
 
@@ -146,11 +242,21 @@ fn main() {
     let mut timing = false;
     let mut trace_path: Option<String> = None;
     let mut jsonl_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut metrics = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--small" => scale = RunScale::Small,
+            "--report" => {
+                report_path = match it.next() {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--report needs an output path");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--trace" => {
                 trace_path = match it.next() {
                     Some(p) => Some(p.clone()),
@@ -197,6 +303,36 @@ fn main() {
         }
     }
     let jobs = if jobs_arg == 1 { 1 } else { effective_jobs(jobs_arg) };
+
+    // The audit target has its own exit semantics: non-zero when any
+    // run's blind segmentation disagrees with its log-derived markers.
+    if target == "audit" {
+        std::process::exit(run_audit(scale, seed, jobs));
+    }
+
+    // `table1 --metrics`: the per-version workload metrics summaries
+    // (including the latency percentiles), golden-gated in verify.sh.
+    if metrics && target == "table1" {
+        println!("{}", table1_metrics(scale, seed, jobs));
+        return;
+    }
+
+    // Report mode: run the timeline target once, print its text, and
+    // write the HTML dashboard from the same runs (no re-simulation).
+    if let Some(out) = &report_path {
+        let Some((text, runs)) = timeline_results(&target, scale, seed, jobs) else {
+            eprintln!("--report only applies to the timeline targets fig2..fig5");
+            std::process::exit(2);
+        };
+        println!("{text}");
+        let html = build_report(&target, &text, &runs, scale, seed);
+        if let Err(e) = std::fs::write(out, &html) {
+            eprintln!("could not write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {out} ({} bytes)", html.len());
+        return;
+    }
 
     // Traced mode: rerun the target with the sink on and export.
     if trace_path.is_some() || jsonl_path.is_some() || metrics {
@@ -332,5 +468,62 @@ fn main() {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repro.json");
         write_bench_json(path, scale, seed, jobs, &timings);
         eprintln!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_entries_are_schema_validated() {
+        let good = telemetry::json::parse(
+            r#"{"scale":"paper","seed":2003,"jobs":2,"targets":16,
+                "total_wall_s":475.368,"total_events":1000}"#,
+        )
+        .unwrap();
+        assert!(history_entry_valid(&good));
+        let missing = telemetry::json::parse(r#"{"scale":"paper","seed":2003}"#).unwrap();
+        assert!(!history_entry_valid(&missing));
+        let wrong_type =
+            telemetry::json::parse(r#"{"scale":3,"seed":2003,"jobs":2,"targets":16,
+                "total_wall_s":475.368,"total_events":1000}"#)
+                .unwrap();
+        assert!(!history_entry_valid(&wrong_type));
+    }
+
+    #[test]
+    fn bench_json_round_trips_and_appends_history() {
+        let dir = std::env::temp_dir().join("repro-bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_repro.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        let timings = [Timing {
+            name: "fig2".to_string(),
+            wall_s: 1.2345,
+            events: 1000,
+        }];
+        write_bench_json(path, RunScale::Small, 7, 2, &timings);
+        write_bench_json(path, RunScale::Small, 7, 2, &timings);
+        let doc = telemetry::json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        let history = doc.get("history").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(history.len(), 2, "each write appends one entry");
+        assert!(history.iter().all(history_entry_valid));
+        assert_eq!(
+            doc.get("targets")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .len(),
+            1
+        );
+        // Keys are emitted sorted: the document is stable under
+        // parse → print.
+        let pretty = doc.to_pretty();
+        assert_eq!(
+            telemetry::json::parse(&pretty).unwrap().to_pretty(),
+            pretty
+        );
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -134,22 +134,7 @@ impl SevenStage {
     /// non-empty interval holds no samples.
     pub fn from_series(series: &TimeSeries, markers: &StageMarkers, tn: f64) -> SevenStage {
         let mut out = SevenStage::zeroed();
-        let mut edges: Vec<(Stage, f64, f64)> = Vec::new();
-        let detected = markers.detected.unwrap_or(markers.recovered);
-        let stabilized = markers.stabilized.unwrap_or(detected);
-        let restabilized = markers.restabilized.unwrap_or(markers.recovered);
-        edges.push((Stage::A, markers.fault, detected.min(markers.recovered)));
-        edges.push((Stage::B, detected.min(markers.recovered), stabilized.min(markers.recovered)));
-        edges.push((Stage::C, stabilized.min(markers.recovered), markers.recovered));
-        edges.push((Stage::D, markers.recovered, restabilized));
-        let e_end = markers.reset.unwrap_or(markers.end);
-        edges.push((Stage::E, restabilized, e_end));
-        if let Some(reset) = markers.reset {
-            let reset_done = markers.reset_done.unwrap_or(reset);
-            edges.push((Stage::F, reset, reset_done));
-            edges.push((Stage::G, reset_done, markers.end));
-        }
-        for (stage, t0, t1) in edges {
+        for (stage, t0, t1) in markers.intervals() {
             let duration = (t1 - t0).max(0.0);
             if duration == 0.0 {
                 continue;
@@ -181,6 +166,34 @@ pub struct StageMarkers {
     pub reset_done: Option<f64>,
     /// End of the measurement.
     pub end: f64,
+}
+
+impl StageMarkers {
+    /// The `(stage, start, end)` intervals the markers delimit, in
+    /// stage order. Every A–E interval is present (possibly empty, with
+    /// `end <= start`); F and G appear only when an operator reset
+    /// happened. Absent markers collapse onto the surrounding ones the
+    /// same way [`SevenStage::from_series`] treats them, so the spans
+    /// here are exactly the ones the model parameters are extracted
+    /// from.
+    pub fn intervals(&self) -> Vec<(Stage, f64, f64)> {
+        let mut edges: Vec<(Stage, f64, f64)> = Vec::with_capacity(7);
+        let detected = self.detected.unwrap_or(self.recovered);
+        let stabilized = self.stabilized.unwrap_or(detected);
+        let restabilized = self.restabilized.unwrap_or(self.recovered);
+        edges.push((Stage::A, self.fault, detected.min(self.recovered)));
+        edges.push((Stage::B, detected.min(self.recovered), stabilized.min(self.recovered)));
+        edges.push((Stage::C, stabilized.min(self.recovered), self.recovered));
+        edges.push((Stage::D, self.recovered, restabilized));
+        let e_end = self.reset.unwrap_or(self.end);
+        edges.push((Stage::E, restabilized, e_end));
+        if let Some(reset) = self.reset {
+            let reset_done = self.reset_done.unwrap_or(reset);
+            edges.push((Stage::F, reset, reset_done));
+            edges.push((Stage::G, reset_done, self.end));
+        }
+        edges
+    }
 }
 
 /// Finds the first time at or after `from` (seconds) where the series
@@ -335,6 +348,37 @@ mod tests {
         let t = stabilization_time(&series, 0.0, 100.0, 0.05, 3).expect("stabilizes");
         assert!((20.0..23.0).contains(&t), "stabilized at {t}");
         assert_eq!(stabilization_time(&series, 0.0, 500.0, 0.05, 3), None);
+    }
+
+    #[test]
+    fn intervals_cover_the_run_without_gaps() {
+        let markers = StageMarkers {
+            fault: 30.0,
+            detected: Some(45.0),
+            stabilized: Some(50.0),
+            recovered: 120.0,
+            restabilized: Some(130.0),
+            reset: Some(160.0),
+            reset_done: Some(170.0),
+            end: 200.0,
+        };
+        let spans = markers.intervals();
+        assert_eq!(spans.len(), 7);
+        assert_eq!(spans[0], (Stage::A, 30.0, 45.0));
+        assert_eq!(spans.last().unwrap(), &(Stage::G, 170.0, 200.0));
+        // Contiguous: each interval starts where the previous ended.
+        for w in spans.windows(2) {
+            assert_eq!(w[0].2, w[1].1, "gap between {:?} and {:?}", w[0].0, w[1].0);
+        }
+        // No reset → only A..E, ending at `end`.
+        let no_reset = StageMarkers {
+            reset: None,
+            reset_done: None,
+            ..markers
+        };
+        let spans = no_reset.intervals();
+        assert_eq!(spans.len(), 5);
+        assert_eq!(spans.last().unwrap(), &(Stage::E, 130.0, 200.0));
     }
 
     #[test]

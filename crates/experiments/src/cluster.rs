@@ -183,6 +183,9 @@ pub struct ClusterReport {
     pub availability: AvailabilityCounter,
     /// Response-time distribution of the successful requests.
     pub latency: LatencyHistogram,
+    /// Per-bucket response-time distributions, same 1 s buckets as
+    /// `throughput` — merged per stage by the report generator.
+    pub latency_timeline: Vec<LatencyHistogram>,
     /// `(time, node, members)` whenever a node's membership view
     /// changed size.
     pub membership_log: Vec<(SimTime, NodeId, usize)>,
@@ -434,6 +437,7 @@ impl ClusterSim {
             throughput: self.clients.throughput(end),
             availability: self.clients.counter().clone(),
             latency: self.clients.latency().clone(),
+            latency_timeline: self.clients.latency_timeline(end),
             membership_log: self.membership_log.clone(),
             process_log: self.process_log.clone(),
             final_members: self.nodes.iter().map(|s| s.press.members().len()).collect(),

@@ -36,11 +36,35 @@ pub fn build_profiles(scale: RunScale, seed: u64, jobs: usize) -> Vec<VersionPro
 /// Table 1: near-peak throughput of the five versions, one independent
 /// saturation run each (fanned across `jobs` workers).
 pub fn table1(scale: RunScale, seed: u64, jobs: usize) -> (String, Vec<(PressVersion, f64)>) {
+    let data = table1_data(scale, seed, jobs, false);
+    let text = table1_text(&data);
+    (text, data.into_iter().map(|(v, t, _)| (v, t)).collect())
+}
+
+/// Table 1 plus each version's deterministic metrics summary (counters,
+/// gauges — including the `client.latency_p50/p95/p99_ms` percentiles —
+/// and histograms), from the same single pass of saturation runs.
+pub fn table1_metrics(scale: RunScale, seed: u64, jobs: usize) -> String {
+    let data = table1_data(scale, seed, jobs, true);
+    let mut out = table1_text(&data);
+    for (_, _, metrics) in &data {
+        out.push('\n');
+        out.push_str(metrics.as_deref().expect("metrics captured"));
+    }
+    out
+}
+
+fn table1_data(
+    scale: RunScale,
+    seed: u64,
+    jobs: usize,
+    with_metrics: bool,
+) -> Vec<(PressVersion, f64, Option<String>)> {
     let (measure_until, window) = match scale {
         RunScale::Paper => (40u64, (10.0, 40.0)),
         RunScale::Small => (15u64, (5.0, 15.0)),
     };
-    let data = run_indexed(jobs, PressVersion::ALL.to_vec(), |_i, v| {
+    run_indexed(jobs, PressVersion::ALL.to_vec(), |_i, v| {
         let config = match scale {
             RunScale::Paper => ClusterConfig::paper_defaults(v),
             RunScale::Small => {
@@ -51,10 +75,18 @@ pub fn table1(scale: RunScale, seed: u64, jobs: usize) -> (String, Vec<(PressVer
         };
         let mut sim = ClusterSim::new(config, seed);
         sim.run_until(SimTime::from_secs(measure_until));
-        (v, sim.mean_throughput(window.0, window.1))
-    });
+        let throughput = sim.mean_throughput(window.0, window.1);
+        let metrics = with_metrics.then(|| {
+            sim.metrics_snapshot()
+                .text_summary(&format!("table1 {} seed{seed}", v.name()))
+        });
+        (v, throughput, metrics)
+    })
+}
+
+fn table1_text(data: &[(PressVersion, f64, Option<String>)]) -> String {
     let mut rows = Vec::new();
-    for (v, t) in &data {
+    for (v, t, _) in data {
         let (v, t) = (*v, *t);
         rows.push(vec![
             v.name().to_string(),
@@ -64,14 +96,13 @@ pub fn table1(scale: RunScale, seed: u64, jobs: usize) -> (String, Vec<(PressVer
             v.main_features().to_string(),
         ]);
     }
-    let text = format!(
+    format!(
         "Table 1 — near-peak throughput of the PRESS versions (4 nodes)\n\n{}",
         table(
             &["version", "measured req/s", "paper req/s", "delta", "main features"],
             &rows
         )
-    );
-    (text, data)
+    )
 }
 
 /// Table 2: the fault catalogue.
@@ -261,31 +292,34 @@ fn timeline_spec(target: &str) -> Option<TimelineSpec> {
     }
 }
 
-/// Runs the `(version, fault)` timelines of one figure in parallel and
-/// renders them in task order, so output is identical for any `jobs`.
-fn timeline_figure(
-    runs: Vec<(PressVersion, FaultKind)>,
+/// Runs one timeline figure (`fig2`–`fig5`) and returns both its
+/// rendered text and the underlying runs in task order — the HTML
+/// report generator consumes the runs so `--report` never repeats a
+/// simulation. Output is byte-identical for any `jobs`. `None` when
+/// `target` is not a timeline figure.
+pub fn timeline_results(
+    target: &str,
     scale: RunScale,
     seed: u64,
     jobs: usize,
-) -> String {
+) -> Option<(String, Vec<FaultRunResult>)> {
+    let (header, runs, footer) = timeline_spec(target)?;
     let results = run_indexed(jobs, runs, |_i, (v, kind)| {
         timeline_run(v, kind, NodeId(3), scale, seed)
     });
-    let mut out = String::new();
+    let mut out = format!("{header}\n\n");
     for r in &results {
         out.push_str(&render_timeline(r));
         out.push('\n');
     }
-    out
+    out.push_str(footer);
+    Some((out, results))
 }
 
 fn timeline_figure_text(target: &str, scale: RunScale, seed: u64, jobs: usize) -> String {
-    let (header, runs, footer) = timeline_spec(target).expect("known timeline target");
-    let mut out = format!("{header}\n\n");
-    out.push_str(&timeline_figure(runs, scale, seed, jobs));
-    out.push_str(footer);
-    out
+    timeline_results(target, scale, seed, jobs)
+        .expect("known timeline target")
+        .0
 }
 
 /// Traced variant of the timeline figures (`fig2`–`fig5`): the same

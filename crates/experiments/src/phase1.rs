@@ -141,39 +141,17 @@ pub fn run_fault_experiment_traced(
 /// per-node lanes. Stage F/G (operator reset) never occur inside a
 /// single run.
 fn stage_spans(result: &FaultRunResult) -> Vec<telemetry::TraceEvent> {
-    let m = &result.markers;
-    let mut bounds: Vec<(&'static str, Stage, f64, f64)> = Vec::new();
-    match m.detected {
-        Some(d) => {
-            if d > m.fault {
-                bounds.push(("stage.A", Stage::A, m.fault, d));
-            }
-            let stab = m.stabilized.unwrap_or(d);
-            if stab > d {
-                bounds.push(("stage.B", Stage::B, d, stab));
-            }
-            if m.recovered > stab {
-                bounds.push(("stage.C", Stage::C, stab, m.recovered));
-            }
-        }
-        None => {
-            // Undetected fault: degraded from injection to repair.
-            if m.recovered > m.fault {
-                bounds.push(("stage.A", Stage::A, m.fault, m.recovered));
-            }
-        }
-    }
-    let restab = m.restabilized.unwrap_or(m.recovered);
-    if restab > m.recovered {
-        bounds.push(("stage.D", Stage::D, m.recovered, restab));
-    }
-    if m.end > restab {
-        bounds.push(("stage.E", Stage::E, restab, m.end));
-    }
+    const NAMES: [&str; 7] = [
+        "stage.A", "stage.B", "stage.C", "stage.D", "stage.E", "stage.F", "stage.G",
+    ];
     let to_time = |s: f64| SimTime::from_nanos((s * 1e9) as u64);
-    bounds
+    result
+        .markers
+        .intervals()
         .into_iter()
-        .map(|(name, stage, t0, t1)| {
+        .filter(|&(_, t0, t1)| t1 > t0)
+        .map(|(stage, t0, t1)| {
+            let name = NAMES[Stage::ALL.iter().position(|s| *s == stage).expect("stage")];
             telemetry::TraceEvent::span(
                 name,
                 "stage",

@@ -97,6 +97,25 @@ pub fn scenario_for(fault: ModelFault, scale: RunScale) -> Option<FaultScenario>
     })
 }
 
+/// The model fault class a phase-1 [`FaultKind`] measures — the
+/// inverse of [`scenario_for`]'s mapping (total: every injectable kind
+/// lands in one of Table 3's base classes).
+pub fn model_for_kind(kind: FaultKind) -> ModelFault {
+    match kind {
+        FaultKind::LinkDown => ModelFault::LinkDown,
+        FaultKind::SwitchDown => ModelFault::SwitchDown,
+        FaultKind::NodeCrash => ModelFault::NodeCrash,
+        FaultKind::NodeHang => ModelFault::NodeFreeze,
+        FaultKind::MemPinFail => ModelFault::MemPin,
+        FaultKind::KernelAllocFail => ModelFault::MemAlloc,
+        FaultKind::AppCrash => ModelFault::ProcessCrash,
+        FaultKind::AppHang => ModelFault::ProcessHang,
+        FaultKind::BadParamNull => ModelFault::BadNull,
+        FaultKind::BadParamOffPtr => ModelFault::BadOffPtr,
+        FaultKind::BadParamOffSize => ModelFault::BadOffSize,
+    }
+}
+
 fn config_for(version: PressVersion, scale: RunScale) -> ClusterConfig {
     match scale {
         RunScale::Paper => ClusterConfig::fault_experiment(version),
@@ -207,6 +226,29 @@ pub fn version_profiles(
             }
         })
         .collect()
+}
+
+/// Runs every measured phase-1 experiment for `versions` and returns
+/// the **full** results, version-major in [`MEASURED_FAULTS`] order —
+/// the stage-segmentation audit needs the raw timelines and markers,
+/// which [`version_profiles`] folds away. Fanned across `jobs` workers
+/// with bit-identical results for any job count.
+pub fn profile_fault_runs(
+    versions: &[PressVersion],
+    scale: RunScale,
+    seed: u64,
+    jobs: usize,
+) -> Vec<FaultRunResult> {
+    let mut tasks = Vec::with_capacity(versions.len() * MEASURED_FAULTS.len());
+    for v in versions {
+        for fault in MEASURED_FAULTS {
+            tasks.push((*v, fault));
+        }
+    }
+    runner::run_indexed(jobs, tasks, |_i, (version, fault)| {
+        let scenario = scenario_for(fault, scale).expect("base classes have scenarios");
+        run_fault_experiment(config_for(version, scale), scenario, seed)
+    })
 }
 
 /// Converts one phase-1 run into the profile entry.

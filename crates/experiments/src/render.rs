@@ -7,16 +7,25 @@ const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇',
 
 /// Renders a time series as a one-line block sparkline of `width`
 /// columns, scaled to `max` (values above `max` clip).
+///
+/// Degenerate inputs degrade instead of panicking: an empty series or
+/// zero width renders as an empty string, non-finite samples are
+/// skipped, and an unusable scale (`max <= 0`, NaN, infinite) renders
+/// every sampled column at the baseline so the line keeps its width.
 pub fn sparkline(series: &TimeSeries, width: usize, max: f64) -> String {
-    if series.is_empty() || width == 0 || max <= 0.0 {
+    if series.is_empty() || width == 0 {
         return String::new();
     }
     let t0 = series.points.first().expect("nonempty").0;
     let t1 = series.points.last().expect("nonempty").0;
     let span = (t1 - t0).max(1e-9);
+    let scale_ok = max.is_finite() && max > 0.0;
     let mut sums = vec![0.0f64; width];
     let mut counts = vec![0u32; width];
     for &(t, v) in &series.points {
+        if !v.is_finite() {
+            continue;
+        }
         let col = (((t - t0) / span) * (width as f64 - 1.0)).round() as usize;
         sums[col] += v;
         counts[col] += 1;
@@ -25,6 +34,8 @@ pub fn sparkline(series: &TimeSeries, width: usize, max: f64) -> String {
         .map(|c| {
             if counts[c] == 0 {
                 BLOCKS[0]
+            } else if !scale_ok {
+                BLOCKS[1]
             } else {
                 let v = (sums[c] / f64::from(counts[c])).clamp(0.0, max);
                 let idx = ((v / max) * 8.0).round() as usize;
@@ -35,11 +46,19 @@ pub fn sparkline(series: &TimeSeries, width: usize, max: f64) -> String {
 }
 
 /// Renders a horizontal bar of `width` columns for `value` out of `max`.
+///
+/// A non-finite `value` or unusable `max` (`<= 0`, NaN, infinite)
+/// renders an empty track of the full width rather than panicking or
+/// producing a NaN-sized fill.
 pub fn bar(value: f64, max: f64, width: usize) -> String {
-    if max <= 0.0 || width == 0 {
+    if width == 0 {
         return String::new();
     }
-    let filled = ((value.clamp(0.0, max) / max) * width as f64).round() as usize;
+    let filled = if max.is_finite() && max > 0.0 && value.is_finite() {
+        ((value.clamp(0.0, max) / max) * width as f64).round() as usize
+    } else {
+        0
+    };
     let mut s = String::with_capacity(width);
     for i in 0..width {
         s.push(if i < filled { '█' } else { '·' });
@@ -105,7 +124,13 @@ mod tests {
         assert_eq!(sparkline(&TimeSeries::default(), 10, 1.0), "");
         let s = TimeSeries::new(vec![(0.0, 5.0)]);
         assert_eq!(sparkline(&s, 0, 1.0), "");
-        assert_eq!(sparkline(&s, 3, 0.0), "");
+        // Unusable scales keep the width but flatten to the baseline.
+        assert_eq!(sparkline(&s, 3, 0.0), "▁  ");
+        assert_eq!(sparkline(&s, 3, f64::NAN), "▁  ");
+        assert_eq!(sparkline(&s, 3, -4.0), "▁  ");
+        // Non-finite samples are skipped rather than poisoning columns.
+        let s = TimeSeries::new(vec![(0.0, f64::NAN), (1.0, 100.0)]);
+        assert_eq!(sparkline(&s, 2, 100.0), " █");
     }
 
     #[test]
@@ -113,6 +138,16 @@ mod tests {
         assert_eq!(bar(5.0, 10.0, 10), "█████·····");
         assert_eq!(bar(20.0, 10.0, 4), "████");
         assert_eq!(bar(0.0, 10.0, 4), "····");
+    }
+
+    #[test]
+    fn bar_handles_degenerate_input() {
+        assert_eq!(bar(5.0, 10.0, 0), "");
+        // max == 0 keeps the track width with no fill.
+        assert_eq!(bar(5.0, 0.0, 4), "····");
+        assert_eq!(bar(f64::NAN, 10.0, 4), "····");
+        assert_eq!(bar(5.0, f64::NAN, 4), "····");
+        assert_eq!(bar(f64::INFINITY, 10.0, 4), "····");
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! HTML scaffolding for the single-file report: escaping, tables, and
+//! the page shell with the palette tokens inlined (light and dark),
+//! so the file renders with no network access and no JavaScript.
+
+/// Escapes text for an HTML (or inline-SVG) text context.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A data table: first column left-aligned text, the rest right-aligned
+/// tabular numerals. Cells are escaped here.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("<table>\n<thead><tr>");
+    for h in headers {
+        out.push_str(&format!("<th>{}</th>", esc(h)));
+    }
+    out.push_str("</tr></thead>\n<tbody>\n");
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        out.push_str("<tr>");
+        for cell in row {
+            out.push_str(&format!("<td>{}</td>", esc(cell)));
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</tbody>\n</table>\n");
+    out
+}
+
+/// Wraps rendered body HTML in the full standalone page: one `<style>`
+/// block carrying the design tokens (light values, with dark values
+/// under both the OS media query and an explicit `data-theme` scope),
+/// system font stack, and recessive table chrome.
+pub fn page(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n\
+         <title>{title}</title>\n<style>\n{css}</style>\n</head>\n\
+         <body class=\"viz-root\">\n<main>\n{body}</main>\n</body>\n</html>\n",
+        title = esc(title),
+        css = CSS,
+    )
+}
+
+const CSS: &str = r#".viz-root {
+  color-scheme: light;
+  --page:            #f9f9f7;
+  --surface-1:       #fcfcfb;
+  --text-primary:    #0b0b0b;
+  --text-secondary:  #52514e;
+  --muted:           #898781;
+  --gridline:        #e1e0d9;
+  --baseline:        #c3c2b7;
+  --border:          rgba(11, 11, 11, 0.10);
+  --series-1:        #2a78d6;
+  --series-2:        #eb6834;
+  --status-good:     #0ca30c;
+  --status-serious:  #ec835a;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --page:            #0d0d0d;
+    --surface-1:       #1a1a19;
+    --text-primary:    #ffffff;
+    --text-secondary:  #c3c2b7;
+    --muted:           #898781;
+    --gridline:        #2c2c2a;
+    --baseline:        #383835;
+    --border:          rgba(255, 255, 255, 0.10);
+    --series-1:        #3987e5;
+    --series-2:        #d95926;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --page:            #0d0d0d;
+  --surface-1:       #1a1a19;
+  --text-primary:    #ffffff;
+  --text-secondary:  #c3c2b7;
+  --muted:           #898781;
+  --gridline:        #2c2c2a;
+  --baseline:        #383835;
+  --border:          rgba(255, 255, 255, 0.10);
+  --series-1:        #3987e5;
+  --series-2:        #d95926;
+}
+body {
+  margin: 0;
+  background: var(--page);
+  color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 820px; margin: 0 auto; padding: 24px 16px 48px; }
+h1 { font-size: 22px; margin: 0 0 4px; }
+h2 { font-size: 17px; margin: 32px 0 8px; }
+h3 { font-size: 14px; margin: 18px 0 6px; color: var(--text-secondary); }
+p, li { color: var(--text-secondary); }
+.meta { color: var(--muted); font-size: 12px; margin: 0 0 20px; }
+section.run {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 14px 16px 16px;
+  margin: 16px 0;
+}
+svg { display: block; max-width: 100%; }
+svg text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif; }
+table {
+  border-collapse: collapse;
+  font-size: 13px;
+  margin: 6px 0 10px;
+}
+th, td { padding: 3px 10px 3px 0; text-align: right; font-variant-numeric: tabular-nums; }
+th { color: var(--muted); font-weight: 500; border-bottom: 1px solid var(--baseline); }
+td { border-bottom: 1px solid var(--gridline); color: var(--text-primary); }
+th:first-child, td:first-child { text-align: left; padding-right: 16px; }
+.badge {
+  display: inline-block;
+  font-size: 12px;
+  border-radius: 10px;
+  padding: 1px 9px;
+  border: 1px solid var(--border);
+  color: var(--text-primary);
+}
+.badge.pass::before { content: "✓ "; color: var(--status-good); }
+.badge.fail::before { content: "✗ "; color: var(--status-critical); }
+footer { margin-top: 28px; color: var(--muted); font-size: 12px; }
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_markup_characters() {
+        assert_eq!(esc("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+
+    #[test]
+    fn page_is_self_contained() {
+        let p = page("T & T", "<p>x</p>");
+        assert!(p.starts_with("<!DOCTYPE html>"));
+        assert!(p.contains("T &amp; T"));
+        assert!(p.contains("prefers-color-scheme: dark"));
+        assert!(!p.contains("<script"));
+        assert!(!p.contains("http://") && !p.contains("https://"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn tables_reject_ragged_rows() {
+        table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -140,6 +140,137 @@ impl TimeSeries {
     pub fn index_at(&self, t: f64) -> usize {
         self.points.partition_point(|&(pt, _)| pt < t)
     }
+
+    /// Robust estimate of the per-sample noise variance, from the
+    /// median squared first difference: for a piecewise-constant signal
+    /// plus i.i.d. noise, `diff[i] = x[i+1] - x[i]` has variance `2σ²`
+    /// away from the (rare) level changes, and the median ignores the
+    /// changes themselves. Returns 0.0 for fewer than two samples.
+    pub fn noise_variance(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let mut diffs: Vec<f64> = self
+            .points
+            .windows(2)
+            .map(|w| {
+                let d = w[1].1 - w[0].1;
+                d * d
+            })
+            .collect();
+        let mid = diffs.len() / 2;
+        diffs.sort_by(|a, b| a.partial_cmp(b).expect("finite diffs"));
+        diffs[mid] / 2.0
+    }
+
+    /// Fits an optimal piecewise-constant model to the series values
+    /// (ignoring the time coordinates beyond their order): exact
+    /// least-squares dynamic programming over all segmentations with at
+    /// most `max_segments` pieces, where each extra piece costs
+    /// `penalty` on top of its squared error. Returns the chosen
+    /// segments in order; empty for an empty series.
+    ///
+    /// This is the "blind" change-point detector used by the
+    /// stage-segmentation audit: it sees only the sampled values, never
+    /// the run log, so its change points are an independent estimate of
+    /// where the system's throughput regime actually shifted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_segments` is 0 or `penalty` is negative/NaN.
+    pub fn piecewise_fit(&self, max_segments: usize, penalty: f64) -> Vec<FitSegment> {
+        assert!(max_segments > 0, "need at least one segment");
+        assert!(penalty >= 0.0, "penalty must be non-negative");
+        let n = self.points.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let kmax = max_segments.min(n);
+
+        // Prefix sums for O(1) segment cost: cost(i, j) is the SSE of
+        // fitting one mean to points[i..j].
+        let mut s = vec![0.0f64; n + 1];
+        let mut s2 = vec![0.0f64; n + 1];
+        for (i, &(_, v)) in self.points.iter().enumerate() {
+            s[i + 1] = s[i] + v;
+            s2[i + 1] = s2[i] + v * v;
+        }
+        let cost = |i: usize, j: usize| -> f64 {
+            let m = (j - i) as f64;
+            let sum = s[j] - s[i];
+            // Clamp tiny negative round-off so costs stay comparable.
+            (s2[j] - s2[i] - sum * sum / m).max(0.0)
+        };
+
+        // dp[k][j]: best cost of covering points[0..j] with k+1 segments.
+        let mut dp = vec![vec![f64::INFINITY; n + 1]; kmax];
+        let mut cut = vec![vec![0usize; n + 1]; kmax];
+        for (j, slot) in dp[0].iter_mut().enumerate().skip(1) {
+            *slot = cost(0, j);
+        }
+        for k in 1..kmax {
+            let (done, rest) = dp.split_at_mut(k);
+            let prev = &done[k - 1];
+            for j in (k + 1)..=n {
+                let mut best = f64::INFINITY;
+                let mut best_i = k;
+                for (i, &p) in prev.iter().enumerate().take(j).skip(k) {
+                    let c = p + cost(i, j);
+                    if c < best {
+                        best = c;
+                        best_i = i;
+                    }
+                }
+                rest[0][j] = best;
+                cut[k][j] = best_i;
+            }
+        }
+
+        // Model selection: each extra segment must pay for itself.
+        let mut best_k = 0;
+        let mut best_total = dp[0][n];
+        for (k, row) in dp.iter().enumerate().skip(1) {
+            let total = row[n] + penalty * k as f64;
+            if total < best_total {
+                best_total = total;
+                best_k = k;
+            }
+        }
+
+        // Backtrack the cut points.
+        let mut bounds = vec![n];
+        let mut j = n;
+        for k in (1..=best_k).rev() {
+            j = cut[k][j];
+            bounds.push(j);
+        }
+        bounds.push(0);
+        bounds.reverse();
+        bounds
+            .windows(2)
+            .map(|w| {
+                let (i, j) = (w[0], w[1]);
+                FitSegment {
+                    start: i,
+                    end: j,
+                    mean: (s[j] - s[i]) / (j - i) as f64,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One piece of a piecewise-constant fit produced by
+/// [`TimeSeries::piecewise_fit`]: sample indices `[start, end)` modeled
+/// at the segment's mean value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitSegment {
+    /// First sample index covered.
+    pub start: usize,
+    /// One past the last sample index covered.
+    pub end: usize,
+    /// Least-squares level of the segment.
+    pub mean: f64,
 }
 
 /// Tallies request outcomes for availability accounting.
@@ -299,6 +430,70 @@ mod tests {
     }
 
     #[test]
+    fn piecewise_fit_recovers_clean_steps() {
+        // 100 for 20 samples, 0 for 15, 70 for 25.
+        let mut pts = Vec::new();
+        for i in 0..60 {
+            let v = if i < 20 {
+                100.0
+            } else if i < 35 {
+                0.0
+            } else {
+                70.0
+            };
+            pts.push((i as f64 + 0.5, v));
+        }
+        let series = TimeSeries::new(pts);
+        let segs = series.piecewise_fit(8, 50.0);
+        assert_eq!(segs.len(), 3, "segments {segs:?}");
+        assert_eq!((segs[0].start, segs[0].end), (0, 20));
+        assert_eq!((segs[1].start, segs[1].end), (20, 35));
+        assert_eq!((segs[2].start, segs[2].end), (35, 60));
+        assert!((segs[0].mean - 100.0).abs() < 1e-9);
+        assert!((segs[1].mean - 0.0).abs() < 1e-9);
+        assert!((segs[2].mean - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piecewise_fit_ignores_noise_below_the_penalty() {
+        // A flat noisy series must come back as one segment.
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64, 100.0 + if i % 2 == 0 { 3.0 } else { -3.0 }))
+            .collect();
+        let series = TimeSeries::new(pts);
+        let noise = series.noise_variance();
+        assert!(noise > 0.0);
+        let segs = series.piecewise_fit(8, 2.0 * noise * (50.0f64).ln() * 10.0);
+        assert_eq!(segs.len(), 1, "segments {segs:?}");
+    }
+
+    #[test]
+    fn piecewise_fit_edge_cases() {
+        assert!(TimeSeries::default().piecewise_fit(4, 1.0).is_empty());
+        let one = TimeSeries::new(vec![(0.0, 5.0)]);
+        let segs = one.piecewise_fit(4, 1.0);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].mean, 5.0);
+        assert_eq!(one.noise_variance(), 0.0);
+        // Zero penalty on a stepped series still cannot exceed
+        // max_segments.
+        let two = TimeSeries::new(vec![(0.0, 1.0), (1.0, 9.0), (2.0, 5.0)]);
+        assert_eq!(two.piecewise_fit(2, 0.0).len(), 2);
+    }
+
+    #[test]
+    fn noise_variance_tracks_alternating_jitter() {
+        // Alternating ±d: every first difference is 2d, so the estimate
+        // is (2d)²/2 = 2d².
+        let d = 3.0;
+        let pts: Vec<(f64, f64)> = (0..40)
+            .map(|i| (i as f64, if i % 2 == 0 { d } else { -d }))
+            .collect();
+        let series = TimeSeries::new(pts);
+        assert!((series.noise_variance() - 2.0 * d * d).abs() < 1e-9);
+    }
+
+    #[test]
     fn index_at_finds_first_sample() {
         let s = TimeSeries::new(vec![(0.5, 1.0), (1.5, 2.0), (2.5, 3.0)]);
         assert_eq!(s.index_at(0.0), 0);
@@ -313,7 +508,7 @@ mod tests {
 /// which keeps percentile error under 15% across the whole range a
 /// request can survive — plenty for availability work, where the
 /// interesting boundaries are "fast", "slow", and "timed out".
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyHistogram {
     bounds: Vec<f64>,
     counts: Vec<u64>,
@@ -465,6 +660,82 @@ mod latency_tests {
     #[should_panic(expected = "out of range")]
     fn bad_quantile_panics() {
         LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_at_every_q() {
+        let h = LatencyHistogram::new();
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "q={q}");
+        }
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_histogram_is_that_sample_everywhere() {
+        let mut h = LatencyHistogram::new();
+        h.record(0.0042);
+        assert_eq!(h.count(), 1);
+        assert!((h.mean() - 0.0042).abs() < 1e-12);
+        assert_eq!(h.max(), 0.0042);
+        // Every quantile resolves to the one occupied bucket's bound,
+        // which brackets the sample within the 1.3x resolution.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(
+                (0.0042..0.0042 * 1.3).contains(&v),
+                "q={q} gave {v}"
+            );
+        }
+        // A zero-latency sample lands in the first bucket.
+        let mut z = LatencyHistogram::new();
+        z.record(0.0);
+        assert_eq!(z.quantile(0.5), 10e-6);
+        assert_eq!(z.max(), 0.0);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let mut a = LatencyHistogram::new();
+        a.record(0.25);
+        let before = a.clone();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a, before);
+    }
+}
+
+#[cfg(test)]
+mod latency_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// merge(a, b) == merge(b, a) for arbitrary sample sets spanning
+        /// every bucket (sub-10µs through past-the-last-bound), so
+        /// per-stage histograms assembled from time buckets in any order
+        /// agree exactly.
+        #[test]
+        fn merge_is_commutative(
+            xs in prop::collection::vec(0u64..60_000_000, 0..40),
+            ys in prop::collection::vec(0u64..60_000_000, 0..40),
+        ) {
+            let fill = |samples: &[u64]| {
+                let mut h = LatencyHistogram::new();
+                for &us in samples {
+                    h.record(us as f64 * 2e-6); // 0 .. 120 s
+                }
+                h
+            };
+            let (a, b) = (fill(&xs), fill(&ys));
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba);
+            prop_assert_eq!(ab.count(), a.count() + b.count());
+            // The merged quantiles never step outside the union range.
+            prop_assert!(ab.quantile(1.0) >= a.quantile(1.0).max(b.quantile(1.0)) - 1e-12);
+        }
     }
 
     #[test]

@@ -21,12 +21,16 @@
 //!   trace microseconds), a JSONL event log, and a plain-text metrics
 //!   summary. All exporters format through integer math and ordered
 //!   maps so output bytes are reproducible.
+//! * [`json`] — a dependency-free JSON value type (sorted-key,
+//!   byte-deterministic writer + strict parser) shared by the bench
+//!   harness (`BENCH_repro.json`) and the report generator.
 //!
 //! The crate depends only on `simnet` (for [`simnet::SimTime`]); the
 //! transports, PRESS, and the composition layer all emit into it.
 
 pub mod event;
 pub mod export;
+pub mod json;
 pub mod metrics;
 pub mod sink;
 

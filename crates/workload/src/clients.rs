@@ -76,6 +76,10 @@ pub struct ClientPool {
     counter: AvailabilityCounter,
     recorder: ThroughputRecorder,
     latency: LatencyHistogram,
+    /// Per-time-bucket response-time distributions (same buckets as the
+    /// throughput series), so reports can merge them into per-stage
+    /// percentiles after the stage boundaries are known.
+    latency_buckets: Vec<LatencyHistogram>,
 }
 
 impl ClientPool {
@@ -93,6 +97,7 @@ impl ClientPool {
             counter: AvailabilityCounter::new(),
             recorder,
             latency: LatencyHistogram::new(),
+            latency_buckets: Vec::new(),
         }
     }
 
@@ -151,7 +156,14 @@ impl ClientPool {
                 self.outstanding.remove(&req_id);
                 self.counter.successes += 1;
                 self.recorder.record(at);
-                self.latency.record(at.saturating_since(issued).as_secs_f64());
+                let secs = at.saturating_since(issued).as_secs_f64();
+                self.latency.record(secs);
+                let idx = (at.as_nanos() / self.config.bucket.as_nanos()) as usize;
+                if idx >= self.latency_buckets.len() {
+                    self.latency_buckets
+                        .resize_with(idx + 1, LatencyHistogram::new);
+                }
+                self.latency_buckets[idx].record(secs);
                 return true;
             }
             // A response after the deadline is scored by the deadline
@@ -182,6 +194,22 @@ impl ClientPool {
         &self.latency
     }
 
+    /// Per-bucket response-time distributions over `[0, end)`, one
+    /// histogram per throughput bucket (empty histograms where nothing
+    /// completed). Like [`ClientPool::throughput`], the partial bucket
+    /// containing `end` is dropped.
+    pub fn latency_timeline(&self, end: SimTime) -> Vec<LatencyHistogram> {
+        let n = (end.as_nanos() / self.config.bucket.as_nanos()) as usize;
+        (0..n)
+            .map(|i| {
+                self.latency_buckets
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
+
     /// The throughput timeline over `[0, end)`.
     pub fn throughput(&self, end: SimTime) -> TimeSeries {
         self.recorder.series(end)
@@ -204,7 +232,9 @@ impl ClientPool {
         reg.counter_add("client.refused", c.refused);
         if self.latency.count() > 0 {
             reg.gauge_set("client.latency_mean_ms", self.latency.mean() * 1e3);
+            reg.gauge_set("client.latency_p50_ms", self.latency.quantile(0.50) * 1e3);
             reg.gauge_set("client.latency_p95_ms", self.latency.quantile(0.95) * 1e3);
+            reg.gauge_set("client.latency_p99_ms", self.latency.quantile(0.99) * 1e3);
             reg.gauge_set("client.latency_max_ms", self.latency.max() * 1e3);
         }
     }
@@ -291,6 +321,40 @@ mod tests {
         assert_eq!(p.counter().attempts, 1);
         assert_eq!(p.counter().failures(), 1);
         assert_eq!(p.counter().availability(), 0.0);
+    }
+
+    #[test]
+    fn latency_timeline_buckets_match_the_aggregate() {
+        let mut p = pool(100.0);
+        // One fast completion in bucket 0, two slower ones in bucket 2.
+        for (issue_ms, take_ms) in [(100u64, 5u64), (2_100, 50), (2_300, 200)] {
+            let t = SimTime::from_nanos(issue_ms * 1_000_000);
+            let (req, _, _) = p.arrive(t);
+            p.accepted(t, req.id);
+            p.complete(t + SimDuration::from_millis(take_ms), req.id);
+        }
+        let timeline = p.latency_timeline(SimTime::from_secs(4));
+        assert_eq!(timeline.len(), 4);
+        assert_eq!(timeline[0].count(), 1);
+        assert_eq!(timeline[1].count(), 0);
+        assert_eq!(timeline[2].count(), 2);
+        assert_eq!(timeline[3].count(), 0);
+        // Merging the buckets reproduces the aggregate histogram.
+        let mut merged = LatencyHistogram::new();
+        for h in &timeline {
+            merged.merge(h);
+        }
+        assert_eq!(&merged, p.latency());
+        // Metrics export includes the p50/p95/p99 ladder.
+        let mut reg = telemetry::MetricsRegistry::new();
+        p.export_metrics(&mut reg);
+        for g in [
+            "client.latency_p50_ms",
+            "client.latency_p95_ms",
+            "client.latency_p99_ms",
+        ] {
+            assert!(reg.gauge(g).is_some(), "missing {g}");
+        }
     }
 
     #[test]

@@ -9,6 +9,10 @@
 # BENCH_repro.json, which this script preserves. The timed table1 run
 # also gates on events dispatched: the optimized event loop may not
 # dispatch more events than the seed loop that produced the goldens.
+# The HTML report gate renders fig2/fig3 dashboards at two --jobs
+# values and requires byte-identity; the audit gate re-derives every
+# stage segmentation blind from the throughput curve and fails on any
+# disagreement with the run log (pipefail makes `| tail -1` strict).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,6 +74,24 @@ diff -u scripts/golden_fig3_small.txt "$tmp_out"
 echo "== repro crossover --small vs golden"
 cargo run --release -q -p bench --bin repro -- crossover --small --jobs 0 >"$tmp_out" 2>/dev/null
 diff -u scripts/golden_crossover_small.txt "$tmp_out"
+
+echo "== repro table1 --metrics vs golden"
+cargo run --release -q -p bench --bin repro -- table1 --small --metrics --jobs 0 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_table1_metrics_small.txt "$tmp_out"
+
+echo "== HTML reports are byte-identical across --jobs"
+tmp_rep1=$(mktemp)
+tmp_rep2=$(mktemp)
+for fig in fig2 fig3; do
+    cargo run --release -q -p bench --bin repro -- "$fig" --small --jobs 1 --report "$tmp_rep1" >/dev/null 2>&1
+    cargo run --release -q -p bench --bin repro -- "$fig" --small --jobs 0 --report "$tmp_rep2" >/dev/null 2>&1
+    cmp "$tmp_rep1" "$tmp_rep2"
+    echo "   $fig report: $(wc -c <"$tmp_rep1") bytes, identical"
+done
+rm -f "$tmp_rep1" "$tmp_rep2"
+
+echo "== blind stage-segmentation audit"
+cargo run --release -q -p bench --bin repro -- audit --small --jobs 0 2>/dev/null | tail -1
 
 echo "== traced fig3 is deterministic"
 tmp_trace1=$(mktemp)
