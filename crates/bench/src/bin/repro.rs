@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro -- <target> [--small] [--seed N] [--jobs N] [--timing]
+//! cargo run --release -p bench --bin repro -- <target> [--small] [--seed N] [--jobs N] [--sim-threads N] [--timing]
 //! ```
 //!
 //! where `<target>` is one of `table1`, `table2`, `table3`, `fig2`,
@@ -17,6 +17,13 @@
 //! workers (`--jobs 0` = all cores, `--jobs 1` = sequential, the
 //! default). Every run takes an explicit seed, so stdout is
 //! byte-identical for any job count.
+//!
+//! `--sim-threads N` shards *each individual simulation* across N
+//! worker threads using the conservative lookahead-window engine
+//! (`--sim-threads 1` = the sequential event loop, the default).
+//! Output is byte-identical for any thread count; the two axes
+//! compose (`--jobs` parallelises across runs, `--sim-threads`
+//! within one run).
 //!
 //! `--timing` reports wall-clock, events dispatched, and events/second
 //! per target on stderr and writes `BENCH_repro.json` at the repo root
@@ -102,12 +109,20 @@ fn history_entry_valid(e: &JsonValue) -> bool {
     e.get("scale").and_then(JsonValue::as_str).is_some()
         && e.get("seed").and_then(JsonValue::as_i64).is_some()
         && e.get("jobs").and_then(JsonValue::as_i64).is_some()
+        && e.get("sim_threads").and_then(JsonValue::as_i64).is_some()
         && e.get("targets").and_then(JsonValue::as_i64).is_some()
         && e.get("total_wall_s").and_then(JsonValue::as_f64).is_some()
         && e.get("total_events").and_then(JsonValue::as_i64).is_some()
 }
 
-fn write_bench_json(path: &str, scale: RunScale, seed: u64, jobs: usize, timings: &[Timing]) {
+fn write_bench_json(
+    path: &str,
+    scale: RunScale,
+    seed: u64,
+    jobs: usize,
+    sim_threads: usize,
+    timings: &[Timing],
+) {
     let total_wall: f64 = timings.iter().map(|t| t.wall_s).sum();
     let total_events: u64 = timings.iter().map(|t| t.events).sum();
 
@@ -129,6 +144,7 @@ fn write_bench_json(path: &str, scale: RunScale, seed: u64, jobs: usize, timings
         ("scale", JsonValue::Str(scale_name(scale).to_string())),
         ("seed", JsonValue::Int(seed as i64)),
         ("jobs", JsonValue::Int(jobs as i64)),
+        ("sim_threads", JsonValue::Int(sim_threads as i64)),
         ("targets", JsonValue::Int(timings.len() as i64)),
         ("total_wall_s", ms3(total_wall)),
         ("total_events", JsonValue::Int(total_events as i64)),
@@ -149,6 +165,7 @@ fn write_bench_json(path: &str, scale: RunScale, seed: u64, jobs: usize, timings
                 ("wall_s", ms3(t.wall_s)),
                 ("events", JsonValue::Int(t.events as i64)),
                 ("events_per_sec", JsonValue::Int(t.events_per_sec().round() as i64)),
+                ("sim_threads", JsonValue::Int(sim_threads as i64)),
             ])
         })
         .collect();
@@ -156,6 +173,7 @@ fn write_bench_json(path: &str, scale: RunScale, seed: u64, jobs: usize, timings
         ("scale", JsonValue::Str(scale_name(scale).to_string())),
         ("seed", JsonValue::Int(seed as i64)),
         ("jobs", JsonValue::Int(jobs as i64)),
+        ("sim_threads", JsonValue::Int(sim_threads as i64)),
         ("host_cores", JsonValue::Int(cores as i64)),
         ("total_wall_s", ms3(total_wall)),
         ("total_events", JsonValue::Int(total_events as i64)),
@@ -239,6 +257,7 @@ fn main() {
     let mut scale = RunScale::Paper;
     let mut seed = REPRO_SEED;
     let mut jobs_arg = 1usize;
+    let mut sim_threads = 1usize;
     let mut timing = false;
     let mut trace_path: Option<String> = None;
     let mut jsonl_path: Option<String> = None;
@@ -294,6 +313,15 @@ fn main() {
                     }
                 };
             }
+            "--sim-threads" => {
+                sim_threads = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--sim-threads needs an integer >= 1");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--timing" => timing = true,
             t if !t.starts_with('-') => target = t.to_string(),
             other => {
@@ -303,6 +331,7 @@ fn main() {
         }
     }
     let jobs = if jobs_arg == 1 { 1 } else { effective_jobs(jobs_arg) };
+    experiments::set_default_sim_threads(sim_threads);
 
     // The audit target has its own exit semantics: non-zero when any
     // run's blind segmentation disagrees with its log-derived markers.
@@ -443,7 +472,7 @@ fn main() {
 
         let total_wall: f64 = timings.iter().map(|t| t.wall_s).sum();
         let total_events: u64 = timings.iter().map(|t| t.events).sum();
-        eprintln!("\n--- timing (jobs = {jobs}) ---");
+        eprintln!("\n--- timing (jobs = {jobs}, sim-threads = {sim_threads}) ---");
         for t in &timings {
             eprintln!(
                 "{:<22} {:>8.3} s  {:>12} events  {:>12.0} events/s",
@@ -466,7 +495,7 @@ fn main() {
         );
         // The harness lives two levels below the repo root.
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repro.json");
-        write_bench_json(path, scale, seed, jobs, &timings);
+        write_bench_json(path, scale, seed, jobs, sim_threads, &timings);
         eprintln!("wrote {path}");
     }
 }
@@ -478,16 +507,23 @@ mod tests {
     #[test]
     fn history_entries_are_schema_validated() {
         let good = telemetry::json::parse(
-            r#"{"scale":"paper","seed":2003,"jobs":2,"targets":16,
+            r#"{"scale":"paper","seed":2003,"jobs":2,"sim_threads":4,"targets":16,
                 "total_wall_s":475.368,"total_events":1000}"#,
         )
         .unwrap();
         assert!(history_entry_valid(&good));
         let missing = telemetry::json::parse(r#"{"scale":"paper","seed":2003}"#).unwrap();
         assert!(!history_entry_valid(&missing));
+        // Pre-sim_threads entries are old-format and dropped.
+        let old_format = telemetry::json::parse(
+            r#"{"scale":"paper","seed":2003,"jobs":2,"targets":16,
+                "total_wall_s":475.368,"total_events":1000}"#,
+        )
+        .unwrap();
+        assert!(!history_entry_valid(&old_format));
         let wrong_type =
-            telemetry::json::parse(r#"{"scale":3,"seed":2003,"jobs":2,"targets":16,
-                "total_wall_s":475.368,"total_events":1000}"#)
+            telemetry::json::parse(r#"{"scale":3,"seed":2003,"jobs":2,"sim_threads":4,
+                "targets":16,"total_wall_s":475.368,"total_events":1000}"#)
                 .unwrap();
         assert!(!history_entry_valid(&wrong_type));
     }
@@ -504,18 +540,23 @@ mod tests {
             wall_s: 1.2345,
             events: 1000,
         }];
-        write_bench_json(path, RunScale::Small, 7, 2, &timings);
-        write_bench_json(path, RunScale::Small, 7, 2, &timings);
+        write_bench_json(path, RunScale::Small, 7, 2, 1, &timings);
+        write_bench_json(path, RunScale::Small, 7, 2, 4, &timings);
         let doc = telemetry::json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
         let history = doc.get("history").and_then(JsonValue::as_array).unwrap();
         assert_eq!(history.len(), 2, "each write appends one entry");
         assert!(history.iter().all(history_entry_valid));
         assert_eq!(
-            doc.get("targets")
-                .and_then(JsonValue::as_array)
-                .unwrap()
-                .len(),
-            1
+            doc.get("sim_threads").and_then(JsonValue::as_i64),
+            Some(4),
+            "top level records the run's sim_threads"
+        );
+        let targets = doc.get("targets").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(targets.len(), 1);
+        assert_eq!(
+            targets[0].get("sim_threads").and_then(JsonValue::as_i64),
+            Some(4),
+            "each target records the sim_threads it ran under"
         );
         // Keys are emitted sorted: the document is stable under
         // parse → print.

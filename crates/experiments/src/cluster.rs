@@ -3,7 +3,7 @@
 //! real time.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use mendosus::{Campaign, FaultAction, FaultKind, FaultPhase, PlannedMangle};
 use press::{
@@ -21,6 +21,23 @@ use transport::{
 };
 use workload::{ClientConfig, ClientEvent, ClientPool};
 
+#[path = "par.rs"]
+mod par;
+
+/// Default for [`ClusterConfig::sim_threads`], settable once from the
+/// command line (`repro --sim-threads N`) so every constructor picks it
+/// up without threading a parameter through the experiment layers.
+static DEFAULT_SIM_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide default for [`ClusterConfig::sim_threads`].
+pub fn set_default_sim_threads(n: usize) {
+    DEFAULT_SIM_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide default for [`ClusterConfig::sim_threads`].
+pub fn default_sim_threads() -> usize {
+    DEFAULT_SIM_THREADS.load(Ordering::Relaxed)
+}
 
 /// Everything needed to build a cluster run.
 #[derive(Debug, Clone)]
@@ -43,6 +60,11 @@ pub struct ClusterConfig {
     pub restart_delay: SimDuration,
     /// Structured tracing (off by default; near-free when off).
     pub trace: telemetry::TraceConfig,
+    /// Worker threads for one simulation (conservative-parallel DES).
+    /// `1` runs the plain sequential loop; `N > 1` shards the nodes
+    /// across `N` scoped workers advancing in fabric-lookahead windows,
+    /// byte-identical to sequential (see the `par` module).
+    pub sim_threads: usize,
 }
 
 impl ClusterConfig {
@@ -67,6 +89,7 @@ impl ClusterConfig {
             prewarm: true,
             restart_delay: SimDuration::from_secs(3),
             trace: telemetry::TraceConfig::OFF,
+            sim_threads: default_sim_threads(),
         }
     }
 
@@ -170,8 +193,11 @@ impl FxPool {
 struct ConnTimers {
     /// Gen of the newest `SetTimer` seen for this connection.
     latest_gen: u64,
-    /// Per-kind pending timer: `(gen, engine token)`.
-    pending: [Option<(u64, CancelToken)>; TimerKind::COUNT],
+    /// Per-kind pending timer: `(gen, engine token, fire time)`. The
+    /// fire time is carried for the parallel driver, which must know
+    /// whether a superseded timer is still engine-resident or already
+    /// drained into the current window.
+    pending: [Option<(u64, CancelToken, SimTime)>; TimerKind::COUNT],
 }
 
 /// Summary of a finished (or in-progress) run.
@@ -421,6 +447,14 @@ impl ClusterSim {
     /// per-event loop would have delivered them (they carry later seqs),
     /// so dispatch order — and therefore every report — is unchanged.
     pub fn run_until(&mut self, deadline: SimTime) {
+        let threads = self.config.sim_threads.min(self.config.press.nodes).max(1);
+        if threads > 1 {
+            if self.config.fabric.lookahead() > SimDuration::ZERO {
+                par::run_until_parallel(self, deadline, threads);
+                return;
+            }
+            par::warn_zero_lookahead();
+        }
         let mut batch = std::mem::take(&mut self.batch);
         while let Some(now) = self.engine.pop_batch_before(deadline, &mut batch) {
             for ev in batch.drain(..) {
@@ -679,7 +713,7 @@ impl ClusterSim {
             return false;
         };
         let slot = &mut entry.pending[key.kind.idx()];
-        if slot.is_some_and(|(g, _)| g == key.gen) {
+        if slot.is_some_and(|(g, ..)| g == key.gen) {
             *slot = None;
         }
         key.gen < entry.latest_gen
@@ -697,7 +731,7 @@ impl ClusterSim {
             entry.latest_gen = key.gen;
         }
         for slot in &mut entry.pending {
-            if let Some((g, token)) = *slot {
+            if let Some((g, token, _)) = *slot {
                 if g < entry.latest_gen {
                     *slot = None;
                     if self.engine.cancel(token) {
@@ -707,7 +741,7 @@ impl ClusterSim {
             }
         }
         let token = self.engine.schedule_cancellable(at, Ev::Timer(key));
-        entry.pending[key.kind.idx()] = Some((key.gen, token));
+        entry.pending[key.kind.idx()] = Some((key.gen, token, at));
     }
 
     fn apply_fault(&mut self, now: SimTime, action: &FaultAction) {
@@ -1110,6 +1144,142 @@ mod tests {
             r.final_members,
             sim.timers_stale_suppressed(),
         )
+    }
+
+    /// Runs the small scenario for `version` with `sim_threads` worker
+    /// threads and returns everything a report compares on, plus the
+    /// dispatched-event count (the parallel driver must account
+    /// events exactly like the sequential loop).
+    fn threaded_run(
+        version: PressVersion,
+        threads: usize,
+        seed: u64,
+    ) -> (AvailabilityCounter, Vec<(f64, f64)>, Vec<usize>, u64, u64) {
+        let mut config = ClusterConfig::small(version);
+        config.sim_threads = threads;
+        let mut sim = ClusterSim::new(config, seed);
+        sim.run_until(SimTime::from_secs(5));
+        let r = sim.report();
+        (
+            r.availability.clone(),
+            r.throughput.points,
+            r.final_members,
+            sim.timers_stale_suppressed(),
+            sim.events_dispatched(),
+        )
+    }
+
+    #[test]
+    fn parallel_windows_match_sequential_exactly() {
+        for version in [PressVersion::Tcp, PressVersion::Via5] {
+            let base = threaded_run(version, 1, 7);
+            for threads in [2, 4] {
+                let par = threaded_run(version, threads, 7);
+                assert_eq!(base, par, "{version} diverged at sim_threads={threads}");
+            }
+        }
+    }
+
+    /// A fault campaign exercises the driver's serialization path:
+    /// windows must stop at each fault instant, fold the shards back
+    /// together, run the instant sequentially, and re-split — with
+    /// the timer index, freezers and fabric ports surviving the round
+    /// trip bit for bit.
+    fn faulted_run(version: PressVersion, threads: usize) -> (ClusterReport, u64, u64) {
+        use mendosus::FaultSpec;
+        let mut config = ClusterConfig::small(version);
+        config.sim_threads = threads;
+        let s = SimDuration::from_secs;
+        let campaign = Campaign::new([
+            FaultSpec::transient(FaultKind::NodeCrash, NodeId(1), SimTime::from_secs(2), s(2)),
+            FaultSpec::transient(FaultKind::AppHang, NodeId(2), SimTime::from_secs(3), s(1)),
+            FaultSpec::transient(FaultKind::LinkDown, NodeId(0), SimTime::from_secs(6), s(1)),
+            FaultSpec::transient(FaultKind::AppCrash, NodeId(3), SimTime::from_secs(8), s(1)),
+            FaultSpec::bad_param(
+                FaultKind::BadParamNull,
+                NodeId(0),
+                SimTime::from_secs(10),
+                transport::MsgClass::FileData,
+                0,
+            ),
+        ]);
+        let mut sim = ClusterSim::with_campaign(config, campaign, 11);
+        sim.run_until(SimTime::from_secs(12));
+        let events = sim.events_dispatched();
+        (sim.report(), sim.timers_stale_suppressed(), events)
+    }
+
+    /// With zero fabric latency there is no lookahead window to
+    /// exploit, so `sim_threads > 1` must degrade to the sequential
+    /// loop (with a one-time warning) rather than produce zero-width
+    /// windows or wrong answers.
+    #[test]
+    fn zero_lookahead_falls_back_to_sequential() {
+        let run = |threads: usize| {
+            let mut config = ClusterConfig::small(PressVersion::Tcp);
+            config.fabric.link_latency = SimDuration::ZERO;
+            config.fabric.switch_latency = SimDuration::ZERO;
+            config.sim_threads = threads;
+            let mut sim = ClusterSim::new(config, 5);
+            sim.run_until(SimTime::from_secs(2));
+            (sim.report().throughput.points, sim.events_dispatched())
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    /// Tracing stresses the replay path hardest: every sampled request
+    /// emits ordered instants and spans from both facade-side scoring
+    /// and worker-side effects, and the merged stream must interleave
+    /// them in exactly the sequential emission order.
+    #[test]
+    fn parallel_windows_preserve_trace_streams() {
+        for version in [PressVersion::Tcp, PressVersion::Via5] {
+            let run = |threads: usize| {
+                use mendosus::FaultSpec;
+                let mut config = ClusterConfig::small(version);
+                config.sim_threads = threads;
+                config.trace = telemetry::TraceConfig {
+                    enabled: true,
+                    request_sample: 4,
+                };
+                let campaign = Campaign::single(FaultSpec::transient(
+                    FaultKind::NodeCrash,
+                    NodeId(1),
+                    SimTime::from_secs(2),
+                    SimDuration::from_secs(2),
+                ));
+                let mut sim = ClusterSim::with_campaign(config, campaign, 23);
+                sim.run_until(SimTime::from_secs(6));
+                (sim.take_trace(), sim.report().throughput.points)
+            };
+            let base = run(1);
+            for threads in [2, 4] {
+                let par = run(threads);
+                assert_eq!(base.1, par.1, "{version} throughput @ {threads}");
+                assert_eq!(
+                    base.0, par.0,
+                    "{version} trace stream diverged at sim_threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_windows_survive_fault_campaigns() {
+        for version in [PressVersion::Tcp, PressVersion::Via5] {
+            let (base, base_sup, base_ev) = faulted_run(version, 1);
+            for threads in [2, 4] {
+                let (par, sup, ev) = faulted_run(version, threads);
+                assert_eq!(base.throughput.points, par.throughput.points, "{version}");
+                assert_eq!(base.availability, par.availability, "{version}");
+                assert_eq!(base.membership_log, par.membership_log, "{version}");
+                assert_eq!(base.process_log, par.process_log, "{version}");
+                assert_eq!(base.final_members, par.final_members, "{version}");
+                assert_eq!(base.all_running, par.all_running, "{version}");
+                assert_eq!(base_sup, sup, "{version} suppressed-timer count");
+                assert_eq!(base_ev, ev, "{version} dispatched-event count");
+            }
+        }
     }
 
     #[test]

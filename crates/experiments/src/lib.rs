@@ -18,7 +18,10 @@ pub mod phase2;
 pub mod render;
 pub mod runner;
 
-pub use cluster::{events_dispatched_total, ClusterConfig, ClusterReport, ClusterSim};
+pub use cluster::{
+    default_sim_threads, events_dispatched_total, set_default_sim_threads, ClusterConfig,
+    ClusterReport, ClusterSim,
+};
 
 pub use phase1::{
     measure_warmup, run_fault_experiment, run_fault_experiment_traced, FaultRunResult,

@@ -1,0 +1,77 @@
+//! The conservative-parallel engine must be invisible in every output:
+//! for a fixed seed, each figure's rendered text is byte-identical
+//! whatever the `--sim-threads` count, and the two parallelism axes
+//! (`--jobs` across runs, `--sim-threads` within a run) compose
+//! without perturbing a single byte.
+//!
+//! These tests mutate the process-global sim-threads default, so they
+//! serialize on [`LOCK`] (the test harness otherwise runs them on
+//! concurrent threads within this process).
+
+use std::sync::Mutex;
+
+use experiments::figures::{fig2, fig3, fig4, fig5};
+use experiments::phase2::RunScale;
+use experiments::set_default_sim_threads;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once per (sim_threads, jobs) combination and asserts every
+/// result equals the sequential single-job baseline.
+fn sweep(label: &str, f: &dyn Fn(usize) -> String) {
+    let _guard = LOCK.lock().unwrap();
+    set_default_sim_threads(1);
+    let base = f(1);
+    assert!(!base.is_empty());
+    for threads in [1usize, 2, 4] {
+        for jobs in [1usize, 2] {
+            if (threads, jobs) == (1, 1) {
+                continue;
+            }
+            set_default_sim_threads(threads);
+            let got = f(jobs);
+            assert_eq!(
+                base, got,
+                "{label} diverged at sim-threads={threads} jobs={jobs}"
+            );
+        }
+    }
+    set_default_sim_threads(1);
+}
+
+#[test]
+fn fig3_identical_across_sim_threads_and_jobs() {
+    sweep("fig3", &|jobs| fig3(RunScale::Small, 2003, jobs));
+}
+
+#[test]
+fn remaining_timeline_figures_identical_across_sim_threads() {
+    // The full 3x2 sweep above already exercises axis composition;
+    // the other timeline targets check the thread axis at both ends.
+    let _guard = LOCK.lock().unwrap();
+    for (label, f) in [
+        ("fig2", fig2 as fn(RunScale, u64, usize) -> String),
+        ("fig4", fig4),
+        ("fig5", fig5),
+    ] {
+        set_default_sim_threads(1);
+        let base = f(RunScale::Small, 2003, 1);
+        set_default_sim_threads(4);
+        let par = f(RunScale::Small, 2003, 2);
+        set_default_sim_threads(1);
+        assert_eq!(base, par, "{label} diverged at sim-threads=4 jobs=2");
+    }
+}
+
+#[test]
+fn profile_sweep_identical_across_sim_threads() {
+    use experiments::figures::{build_profiles, crossover, fig6};
+    let _guard = LOCK.lock().unwrap();
+    set_default_sim_threads(1);
+    let base = build_profiles(RunScale::Small, 2003, 1);
+    set_default_sim_threads(2);
+    let par = build_profiles(RunScale::Small, 2003, 2);
+    set_default_sim_threads(1);
+    assert_eq!(fig6(&base), fig6(&par));
+    assert_eq!(crossover(&base), crossover(&par));
+}

@@ -544,6 +544,55 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Burns one sequence number without queueing anything, returning it.
+    ///
+    /// The conservative-parallel driver executes some events on worker
+    /// threads without ever inserting them into this engine; allocating
+    /// their seqs here (at exactly the point the sequential loop would
+    /// have scheduled them) keeps every later event's `(time, seq)` key
+    /// identical to the sequential run's.
+    #[inline]
+    pub fn alloc_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Pops every deliverable event strictly before `bound` into `out`
+    /// as `(time, seq, event)` triples, in delivery order. Unlike
+    /// [`Engine::pop_before`] this neither advances the clock past the
+    /// popped events' timestamps beyond what popping implies nor counts
+    /// the events as dispatched — the parallel window driver re-plays
+    /// the window and accounts for dispatch itself.
+    pub fn pop_window(&mut self, bound: SimTime, out: &mut Vec<(SimTime, u64, E)>) {
+        while let Some((at, seq, from_fifo)) = self.next_key() {
+            if at >= bound {
+                break;
+            }
+            let event = self.take_next(from_fifo);
+            debug_assert!(at >= self.now);
+            self.now = at;
+            out.push((at, seq, event));
+        }
+    }
+
+    /// Advances the clock to `t` if `t` is later (no-op otherwise).
+    /// Used by drivers that deliver events outside [`Engine::pop`].
+    #[inline]
+    pub fn advance_now(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Adds `n` to the dispatched-event count, for drivers that deliver
+    /// events popped via [`Engine::pop_window`] (which does not count)
+    /// or executed outside the engine entirely.
+    #[inline]
+    pub fn note_dispatched(&mut self, n: u64) {
+        self.dispatched += n;
+    }
+
     /// Discards all queued events without delivering them. The backing
     /// allocation is retained for reuse.
     pub fn clear(&mut self) {
@@ -940,5 +989,63 @@ mod tests {
         e.clear();
         assert_eq!(e.pending(), 0);
         assert_eq!(e.pop(), None);
+    }
+
+    #[test]
+    fn pop_window_excludes_event_exactly_at_bound() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_nanos(10), "in");
+        e.schedule_at(SimTime::from_nanos(99), "edge-in");
+        e.schedule_at(SimTime::from_nanos(100), "at-bound");
+        let mut out = Vec::new();
+        e.pop_window(SimTime::from_nanos(100), &mut out);
+        let names: Vec<_> = out.iter().map(|(_, _, v)| *v).collect();
+        assert_eq!(names, ["in", "edge-in"]);
+        // The bound event stays queued for the next window and the
+        // clock sits at the last drained timestamp, not the bound.
+        assert_eq!(e.now(), SimTime::from_nanos(99));
+        assert_eq!(e.pop(), Some((SimTime::from_nanos(100), "at-bound")));
+    }
+
+    #[test]
+    fn pop_window_does_not_count_dispatched() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime::from_nanos(1), ());
+        e.schedule_at(SimTime::from_nanos(2), ());
+        let mut out = Vec::new();
+        e.pop_window(SimTime::from_nanos(10), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(e.dispatched(), 0);
+        e.note_dispatched(out.len() as u64);
+        assert_eq!(e.dispatched(), 2);
+    }
+
+    #[test]
+    fn pop_window_keeps_fifo_order_for_ties() {
+        let mut e = Engine::new();
+        for i in 0..50 {
+            e.schedule_at(SimTime::from_nanos(5), i);
+        }
+        let mut out = Vec::new();
+        e.pop_window(SimTime::from_nanos(6), &mut out);
+        let order: Vec<_> = out.iter().map(|(_, _, v)| *v).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+        // Seqs are strictly increasing: the replay merge relies on the
+        // (time, seq) key being a total order identical to pop order.
+        assert!(out.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn alloc_seq_burns_the_same_seq_a_schedule_would_have() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_at(SimTime::from_nanos(1), "x");
+        let burned = e.alloc_seq();
+        e.schedule_at(SimTime::from_nanos(1), "y");
+        let mut out = Vec::new();
+        e.pop_window(SimTime::from_nanos(2), &mut out);
+        // "x" took seq 0, the burn took 1, "y" took 2: a worker-local
+        // event slotted at the burned seq sorts between them.
+        assert_eq!(out[0].1, burned - 1);
+        assert_eq!(out[1].1, burned + 1);
     }
 }

@@ -121,6 +121,27 @@ pub struct FabricConfig {
 }
 
 impl FabricConfig {
+    /// The minimum time between handing a frame to the fabric and its
+    /// arrival at the destination switch port: two link hops plus the
+    /// switch, with serialization contributing at least one more
+    /// nanosecond. This is the conservative-parallel lookahead — no
+    /// event executed at time `t` can make another node observe
+    /// anything before `t + lookahead()`, so windows of this width can
+    /// run concurrently without violating causality. A degenerate
+    /// configuration (zero link and switch latency) yields
+    /// `SimDuration::ZERO` and callers must fall back to sequential
+    /// execution.
+    pub fn lookahead(&self) -> SimDuration {
+        self.link_latency + self.switch_latency + self.link_latency
+    }
+
+    /// Serialization time of `bytes` at this fabric's bandwidth (at
+    /// least one nanosecond).
+    pub fn wire_time(&self, bytes: u32) -> SimDuration {
+        let nanos = u64::from(bytes) * 1_000_000_000 / self.bandwidth;
+        SimDuration::from_nanos(nanos.max(1))
+    }
+
     /// Configuration matching the paper's 4-node cLAN test-bed.
     pub fn clan_four_nodes() -> Self {
         FabricConfig {
@@ -138,6 +159,50 @@ impl Default for FabricConfig {
     fn default() -> Self {
         FabricConfig::clan_four_nodes()
     }
+}
+
+/// Result of the sender-side half of a transmission
+/// ([`Fabric::tx_phase`]): everything observable at the source NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// The frame left the sender; it reaches the destination switch
+    /// port at `at_dst_port` (receiver serialization still pending —
+    /// [`Fabric::rx_phase`] turns this into the final arrival time).
+    Launched {
+        /// Arrival time at the destination's switch port.
+        at_dst_port: SimTime,
+    },
+    /// The frame was lost before reaching the destination port.
+    Lost {
+        /// Why it was lost.
+        reason: LossReason,
+    },
+}
+
+/// Sender-side transmission state for one node: the serialization
+/// horizon of its link plus any pending injected drops. Split out of
+/// [`Fabric`] so the parallel driver can hand each worker thread the
+/// tx state of exactly the nodes it owns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxPort {
+    /// The sender link is serializing until this time.
+    pub busy: SimTime,
+    /// Upcoming frames from this node to drop (fault injection).
+    pub drop_next: u32,
+}
+
+/// A point-in-time snapshot of the fabric's up/down flags. Flags only
+/// change at fault-injection instants, which the parallel driver
+/// serializes, so a snapshot taken at a window boundary is valid for
+/// the whole window.
+#[derive(Debug, Clone, Default)]
+pub struct FabricFlags {
+    /// Per-node link state.
+    pub link_up: Vec<bool>,
+    /// Per-node NIC power state.
+    pub node_up: Vec<bool>,
+    /// Switch state.
+    pub switch_up: bool,
 }
 
 /// Counters describing fabric activity, for assertions and reports.
@@ -261,51 +326,64 @@ impl Fabric {
     /// On success, the returned arrival time accounts for sender
     /// serialization, two link hops, the switch, and receiver
     /// serialization. The caller is responsible for scheduling delivery.
+    ///
+    /// This is exactly [`Fabric::tx_phase`] followed by
+    /// [`Fabric::rx_phase`] against the master flag and port state.
     pub fn transmit<P>(&mut self, now: SimTime, frame: &Frame<P>) -> TransmitOutcome {
         let src = frame.src.0;
         let dst = frame.dst.0;
         assert!(src < self.config.nodes && dst < self.config.nodes);
 
-        let reason = if !self.node_up[src] {
-            Some(LossReason::SrcNodeDown)
-        } else if !self.link_up[src] {
-            Some(LossReason::SrcLinkDown)
-        } else if self.drop_next_from[src] > 0 {
-            self.drop_next_from[src] -= 1;
-            Some(LossReason::Injected)
-        } else if !self.switch_up {
-            Some(LossReason::SwitchDown)
-        } else if !self.link_up[dst] {
-            Some(LossReason::DstLinkDown)
-        } else if !self.node_up[dst] {
-            Some(LossReason::DstNodeDown)
-        } else {
-            None
+        let flags = FlagView {
+            link_up: &self.link_up,
+            node_up: &self.node_up,
+            switch_up: self.switch_up,
         };
-        if let Some(reason) = reason {
-            self.stats.lost += 1;
-            return TransmitOutcome::Lost { reason };
+        let mut port = TxPort {
+            busy: self.tx_busy[src],
+            drop_next: self.drop_next_from[src],
+        };
+        let outcome = tx_phase_inner(&self.config, flags, &mut port, now, frame.src, frame.dst, frame.bytes);
+        self.tx_busy[src] = port.busy;
+        self.drop_next_from[src] = port.drop_next;
+        match outcome {
+            TxOutcome::Lost { reason } => {
+                self.stats.lost += 1;
+                TransmitOutcome::Lost { reason }
+            }
+            TxOutcome::Launched { at_dst_port } => self.rx_phase(at_dst_port, frame.dst, frame.bytes),
         }
+    }
 
-        let wire = self.wire_time(frame.bytes);
+    /// Sender-side half of [`Fabric::transmit`] against caller-supplied
+    /// flag and port state: loss checks observable from the source,
+    /// sender serialization, and propagation to the destination switch
+    /// port. Pure with respect to the fabric — workers run this against
+    /// their own [`FabricFlags`] replica and per-node [`TxPort`]s. Lost
+    /// frames are *not* counted in any stats; the caller tallies them.
+    pub fn tx_phase<P>(
+        config: &FabricConfig,
+        flags: &FabricFlags,
+        port: &mut TxPort,
+        now: SimTime,
+        frame: &Frame<P>,
+    ) -> TxOutcome {
+        let view = FlagView {
+            link_up: &flags.link_up,
+            node_up: &flags.node_up,
+            switch_up: flags.switch_up,
+        };
+        tx_phase_inner(config, view, port, now, frame.src, frame.dst, frame.bytes)
+    }
 
-        // Sender serialization.
-        let tx_start = self.tx_busy[src].max(now);
-        if tx_start.saturating_since(now) > self.config.max_tx_backlog {
-            self.stats.lost += 1;
-            return TransmitOutcome::Lost {
-                reason: LossReason::TxQueueOverrun,
-            };
-        }
-        let tx_end = tx_start + wire;
-        self.tx_busy[src] = tx_end;
-
-        // Propagation through the switch.
-        let at_switch = tx_end + self.config.link_latency + self.config.switch_latency;
-        let at_dst_port = at_switch + self.config.link_latency;
-
-        // Receiver serialization.
-        let rx_start = self.rx_busy[dst].max(at_dst_port);
+    /// Receiver-side half of [`Fabric::transmit`]: serialization on the
+    /// destination link, backlog bounding, and delivery accounting.
+    /// Order-sensitive (each call advances `rx_busy[dst]`), so the
+    /// parallel driver replays launched frames in exact sequential
+    /// order through this method.
+    pub fn rx_phase(&mut self, at_dst_port: SimTime, dst: NodeId, bytes: u32) -> TransmitOutcome {
+        let wire = self.config.wire_time(bytes);
+        let rx_start = self.rx_busy[dst.0].max(at_dst_port);
         if rx_start.saturating_since(at_dst_port) > self.config.max_rx_backlog {
             self.stats.lost += 1;
             return TransmitOutcome::Lost {
@@ -313,16 +391,115 @@ impl Fabric {
             };
         }
         let rx_end = rx_start + wire;
-        self.rx_busy[dst] = rx_end;
+        self.rx_busy[dst.0] = rx_end;
 
         self.stats.delivered += 1;
-        self.stats.bytes_delivered += u64::from(frame.bytes);
+        self.stats.bytes_delivered += u64::from(bytes);
         TransmitOutcome::Delivered { at: rx_end }
     }
 
-    fn wire_time(&self, bytes: u32) -> SimDuration {
-        let nanos = u64::from(bytes) * 1_000_000_000 / self.config.bandwidth;
-        SimDuration::from_nanos(nanos.max(1))
+    /// Snapshots the up/down flags (see [`FabricFlags`]).
+    pub fn flags(&self) -> FabricFlags {
+        FabricFlags {
+            link_up: self.link_up.clone(),
+            node_up: self.node_up.clone(),
+            switch_up: self.switch_up,
+        }
+    }
+
+    /// Copies the current flags into an existing snapshot, reusing its
+    /// allocations.
+    pub fn flags_into(&self, out: &mut FabricFlags) {
+        out.link_up.clear();
+        out.link_up.extend_from_slice(&self.link_up);
+        out.node_up.clear();
+        out.node_up.extend_from_slice(&self.node_up);
+        out.switch_up = self.switch_up;
+    }
+
+    /// Extracts `node`'s sender-side port state. The master copy keeps
+    /// running; the parallel driver pairs this with
+    /// [`Fabric::restore_tx_port`] around each parallel region.
+    pub fn take_tx_port(&mut self, node: NodeId) -> TxPort {
+        TxPort {
+            busy: std::mem::take(&mut self.tx_busy[node.0]),
+            drop_next: std::mem::take(&mut self.drop_next_from[node.0]),
+        }
+    }
+
+    /// Writes back `node`'s sender-side port state taken with
+    /// [`Fabric::take_tx_port`].
+    pub fn restore_tx_port(&mut self, node: NodeId, port: TxPort) {
+        self.tx_busy[node.0] = port.busy;
+        self.drop_next_from[node.0] = port.drop_next;
+    }
+
+    /// Adds `n` frames to the lost tally (worker-side tx losses folded
+    /// back into the master stats).
+    pub fn note_lost(&mut self, n: u64) {
+        self.stats.lost += n;
+    }
+}
+
+/// Borrowed flag state shared by the sequential and worker tx paths.
+#[derive(Clone, Copy)]
+struct FlagView<'a> {
+    link_up: &'a [bool],
+    node_up: &'a [bool],
+    switch_up: bool,
+}
+
+/// The one true sender-side transmission routine: loss-check order and
+/// arithmetic here define both `Fabric::transmit` (sequential) and
+/// `Fabric::tx_phase` (parallel workers), so the two paths cannot
+/// drift apart.
+fn tx_phase_inner(
+    config: &FabricConfig,
+    flags: FlagView<'_>,
+    port: &mut TxPort,
+    now: SimTime,
+    src: NodeId,
+    dst: NodeId,
+    bytes: u32,
+) -> TxOutcome {
+    let src = src.0;
+    let dst = dst.0;
+    let reason = if !flags.node_up[src] {
+        Some(LossReason::SrcNodeDown)
+    } else if !flags.link_up[src] {
+        Some(LossReason::SrcLinkDown)
+    } else if port.drop_next > 0 {
+        port.drop_next -= 1;
+        Some(LossReason::Injected)
+    } else if !flags.switch_up {
+        Some(LossReason::SwitchDown)
+    } else if !flags.link_up[dst] {
+        Some(LossReason::DstLinkDown)
+    } else if !flags.node_up[dst] {
+        Some(LossReason::DstNodeDown)
+    } else {
+        None
+    };
+    if let Some(reason) = reason {
+        return TxOutcome::Lost { reason };
+    }
+
+    let wire = config.wire_time(bytes);
+
+    // Sender serialization.
+    let tx_start = port.busy.max(now);
+    if tx_start.saturating_since(now) > config.max_tx_backlog {
+        return TxOutcome::Lost {
+            reason: LossReason::TxQueueOverrun,
+        };
+    }
+    let tx_end = tx_start + wire;
+    port.busy = tx_end;
+
+    // Propagation through the switch.
+    let at_switch = tx_end + config.link_latency + config.switch_latency;
+    TxOutcome::Launched {
+        at_dst_port: at_switch + config.link_latency,
     }
 }
 

@@ -23,7 +23,10 @@ echo "== cargo clippy"
 cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "== cargo test"
-cargo test -q --workspace
+# Single-threaded: the parallel-identity sweeps mutate the process-wide
+# sim-threads default, and serial runs keep timing-sensitive output
+# stable on small hosts.
+RUST_TEST_THREADS=1 cargo test -q --workspace
 
 echo "== repro table1 --small --timing vs golden"
 tmp_out=$(mktemp)
@@ -70,6 +73,17 @@ fi
 echo "== repro fig3 --small vs golden"
 cargo run --release -q -p bench --bin repro -- fig3 --small --jobs 0 >"$tmp_out" 2>/dev/null
 diff -u scripts/golden_fig3_small.txt "$tmp_out"
+
+echo "== conservative-parallel engine matches the sequential goldens"
+# The same goldens, regenerated with each simulation sharded across two
+# worker threads. Any divergence from the sequential captures — one
+# byte — fails the build: the lookahead-window engine must be
+# observationally identical, not statistically close.
+cargo run --release -q -p bench --bin repro -- table1 --small --sim-threads 2 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_table1_small.txt "$tmp_out"
+cargo run --release -q -p bench --bin repro -- fig3 --small --sim-threads 2 --jobs 0 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_fig3_small.txt "$tmp_out"
+echo "   table1 + fig3 identical at --sim-threads 2"
 
 echo "== repro crossover --small vs golden"
 cargo run --release -q -p bench --bin repro -- crossover --small --jobs 0 >"$tmp_out" 2>/dev/null
