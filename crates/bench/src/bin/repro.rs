@@ -9,9 +9,17 @@
 //! where `<target>` is one of `table1`, `table2`, `table3`, `fig2`,
 //! `fig3`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `offbyn`, `crossover`, `ablation-membership`, `ablation-heartbeat`,
-//! `audit`, or `all`. `--small` runs on the shrunk
+//! `audit`, `montecarlo`, or `all`. `--small` runs on the shrunk
 //! test-bed (fast, for smoke-testing the harness; numbers will differ
 //! from the paper's scale).
+//!
+//! `montecarlo` estimates performability empirically over generated
+//! fault timelines — correlated fault groups, gray faults, and
+//! overlapping arrivals the closed-form model cannot express — and
+//! cross-checks a single-fault-class load against the closed-form AA.
+//! It is not part of `all` (its fault universe goes beyond the paper's
+//! tables); `--report <out.html>` works for it like for the timeline
+//! targets.
 //!
 //! `--jobs N` fans the independent simulations of each target across N
 //! workers (`--jobs 0` = all cores, `--jobs 1` = sequential, the
@@ -58,7 +66,7 @@ use experiments::figures::{
     timeline_results, traced_timeline, REPRO_SEED,
 };
 use experiments::phase2::{profile_fault_runs, RunScale};
-use experiments::{effective_jobs, events_dispatched_total};
+use experiments::{effective_jobs, events_dispatched_total, montecarlo_results};
 use performability::fault_load::DAY;
 use press::PressVersion;
 use telemetry::json::JsonValue;
@@ -346,11 +354,28 @@ fn main() {
         return;
     }
 
-    // Report mode: run the timeline target once, print its text, and
-    // write the HTML dashboard from the same runs (no re-simulation).
+    // Report mode: run the target once, print its text, and write the
+    // HTML dashboard from the same runs (no re-simulation).
     if let Some(out) = &report_path {
+        if target == "montecarlo" {
+            let (text, run) = montecarlo_results(scale, seed, jobs);
+            println!("{text}");
+            let meta = report::ReportMeta {
+                target: target.clone(),
+                title: "Monte-Carlo performability".to_string(),
+                scale: scale_name(scale).to_string(),
+                seed,
+            };
+            let html = report::render_mc_report(&meta, &run);
+            if let Err(e) = std::fs::write(out, &html) {
+                eprintln!("could not write {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {out} ({} bytes)", html.len());
+            return;
+        }
         let Some((text, runs)) = timeline_results(&target, scale, seed, jobs) else {
-            eprintln!("--report only applies to the timeline targets fig2..fig5");
+            eprintln!("--report only applies to the timeline targets fig2..fig5 and montecarlo");
             std::process::exit(2);
         };
         println!("{text}");
@@ -449,6 +474,7 @@ fn main() {
         "ablation-membership" => println!("{}", ablation_membership(scale, seed, jobs)),
         "ablation-heartbeat" => println!("{}", ablation_heartbeat(scale, seed, jobs)),
         "crossover" => println!("{}", crossover(profiles.expect("profiles built"))),
+        "montecarlo" => println!("{}", montecarlo_results(scale, seed, jobs).0),
         other => {
             eprintln!("unknown target {other}");
             std::process::exit(2);

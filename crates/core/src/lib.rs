@@ -13,6 +13,10 @@
 //!   per-fault unavailability contributions.
 //! * [`metric`] — the performability metric
 //!   `P = Tn · log(A_I) / log(AA)`.
+//! * [`montecarlo`] — the empirical alternative to the closed-form
+//!   model for fault loads it cannot express (correlated groups, gray
+//!   faults, overlapping arrivals): average measured throughput over
+//!   generated fault timelines, with confidence intervals.
 //! * [`sensitivity`] — fault-rate sweeps and the crossover solver that
 //!   reproduces the paper's "VIA fault rates must be ≈4× TCP's before
 //!   performabilities equalize" result.
@@ -44,11 +48,13 @@
 pub mod fault_load;
 pub mod metric;
 pub mod model;
+pub mod montecarlo;
 pub mod sensitivity;
 pub mod stages;
 
 pub use fault_load::{paper_fault_load, FaultEntry, ModelFault};
 pub use metric::performability;
+pub use montecarlo::{MonteCarloEstimate, MonteCarloResult, Replication};
 pub use model::{average_availability, average_throughput, unavailability_breakdown, FaultBehavior};
 pub use sensitivity::{crossover_multiplier, CrossoverResult};
 pub use stages::{SevenStage, Stage, StageMarkers, StagePoint};

@@ -162,6 +162,64 @@ struct NodeSlot {
     freezer: Vec<Work>,
 }
 
+/// How much a gray [`FaultKind::CpuThrottle`] slows a node: every CPU
+/// charge costs this many times more while the fault is active.
+const GRAY_THROTTLE_FACTOR: u32 = 8;
+
+/// Reference counts of active faults per affected component.
+///
+/// Single-fault campaigns flip state directly; overlapping campaigns
+/// cannot — two concurrent `LinkDown`s on the same node must keep the
+/// link down until *both* recover. Every condition fault increments its
+/// counter on inject and decrements on recover, and the underlying
+/// state (fabric flags, substrate error modes, process freeze) changes
+/// only on 0→1 and →0 edges. Non-overlapping campaigns take exactly the
+/// same edge transitions as the old direct flips, so all existing
+/// goldens are unchanged.
+#[derive(Debug, Clone, Default)]
+struct NodeFaultCounts {
+    link_down: u32,
+    crash: u32,
+    hang: u32,
+    alloc_fail: u32,
+    pin_fail: u32,
+    app_hang: u32,
+    degraded: u32,
+    throttle: u32,
+}
+
+#[derive(Debug, Default)]
+struct FaultLedger {
+    nodes: Vec<NodeFaultCounts>,
+    switch_down: u32,
+    /// Active partial partitions per normalized `(lo, hi)` node pair.
+    partitions: BTreeMap<(usize, usize), u32>,
+}
+
+impl FaultLedger {
+    fn new(nodes: usize) -> Self {
+        FaultLedger {
+            nodes: vec![NodeFaultCounts::default(); nodes],
+            switch_down: 0,
+            partitions: BTreeMap::new(),
+        }
+    }
+
+    /// Bumps `count` up or down and reports whether the component's
+    /// state changed (0→1 on inject, →0 on recover). Recovering a
+    /// never-injected fault is a campaign bug and panics.
+    fn edge(count: &mut u32, inject: bool) -> bool {
+        if inject {
+            *count += 1;
+            *count == 1
+        } else {
+            assert!(*count > 0, "recovering a fault that was never injected");
+            *count -= 1;
+            *count == 0
+        }
+    }
+}
+
 /// Reusable pool of [`Effects`] buffers, so transport/app calls fill
 /// recycled capacity instead of allocating a fresh `Vec` per work item.
 #[derive(Default)]
@@ -250,6 +308,8 @@ pub struct ClusterSim {
     nodes: Vec<NodeSlot>,
     clients: ClientPool,
     actions: Vec<FaultAction>,
+    /// Active-fault reference counts (overlapping campaigns).
+    ledger: FaultLedger,
     membership_log: Vec<(SimTime, NodeId, usize)>,
     process_log: Vec<(SimTime, NodeId, ProcEvent)>,
     last_members: Vec<usize>,
@@ -322,7 +382,11 @@ impl ClusterSim {
                 freezer: Vec::new(),
             });
         }
-        // Arm the campaign.
+        // Arm the campaign. Replaying a malformed campaign would
+        // corrupt the ledger's reference counts, so reject it up front.
+        if let Err(err) = campaign.validate() {
+            panic!("invalid fault campaign: {err}");
+        }
         let actions = campaign.actions();
         for (i, a) in actions.iter().enumerate() {
             engine.schedule_at(a.at, Ev::Fault(i));
@@ -351,6 +415,7 @@ impl ClusterSim {
             nodes,
             clients,
             actions,
+            ledger: FaultLedger::new(n),
             membership_log: Vec::new(),
             process_log: Vec::new(),
             sink,
@@ -677,7 +742,9 @@ impl ClusterSim {
             }
             Ev::ProcessRestart { node, gen } => {
                 let slot = &mut self.nodes[node];
-                if slot.gen == gen && !slot.running {
+                // A frozen machine cannot boot a process; the hang
+                // recovery reschedules the restart when it thaws.
+                if slot.gen == gen && !slot.running && !slot.frozen {
                     slot.running = true;
                     self.process_log.push((now, NodeId(node), ProcEvent::Restart));
                     self.sink.emit_with(|| {
@@ -786,17 +853,34 @@ impl ClusterSim {
                 );
             }
         }
+        // Condition faults go through the ledger: state changes only on
+        // 0→1 / →0 count edges, so overlapping faults on the same
+        // component compose instead of clobbering each other.
         match spec.kind {
-            FaultKind::LinkDown => self.fabric.set_link_up(node, !inject),
-            FaultKind::SwitchDown => self.fabric.set_switch_up(!inject),
+            FaultKind::LinkDown => {
+                if FaultLedger::edge(&mut self.ledger.nodes[node.0].link_down, inject) {
+                    self.fabric.set_link_up(node, !inject);
+                }
+            }
+            FaultKind::SwitchDown => {
+                if FaultLedger::edge(&mut self.ledger.switch_down, inject) {
+                    self.fabric.set_switch_up(!inject);
+                }
+            }
             FaultKind::NodeCrash => {
+                let counts = &mut self.ledger.nodes[node.0];
                 if inject {
-                    self.fabric.set_node_up(node, false);
-                    self.kill_process(now, node.0, None);
-                } else {
-                    // Machine back up; Mendosus restarts PRESS after the
-                    // boot completes.
-                    self.fabric.set_node_up(node, true);
+                    if FaultLedger::edge(&mut counts.crash, true) {
+                        self.fabric.set_node_up(node, false);
+                        self.kill_process(now, node.0, None);
+                    }
+                } else if FaultLedger::edge(&mut counts.crash, false) {
+                    // Machine back up (unless a concurrent hang still
+                    // holds it frozen); Mendosus restarts PRESS after
+                    // the boot completes.
+                    if counts.hang == 0 {
+                        self.fabric.set_node_up(node, true);
+                    }
                     let gen = self.nodes[node.0].gen;
                     self.engine.schedule_at(
                         now + self.config.restart_delay,
@@ -805,40 +889,66 @@ impl ClusterSim {
                 }
             }
             FaultKind::NodeHang => {
-                let slot = &mut self.nodes[node.0];
+                let counts = &mut self.ledger.nodes[node.0];
                 if inject {
-                    self.fabric.set_node_up(node, false);
-                    slot.frozen = true;
-                } else {
-                    self.fabric.set_node_up(node, true);
+                    if FaultLedger::edge(&mut counts.hang, true) {
+                        self.fabric.set_node_up(node, false);
+                        self.nodes[node.0].frozen = true;
+                    }
+                } else if FaultLedger::edge(&mut counts.hang, false) {
+                    let crashed = counts.crash > 0;
+                    if !crashed {
+                        self.fabric.set_node_up(node, true);
+                    }
+                    let slot = &mut self.nodes[node.0];
                     slot.frozen = false;
                     let frozen_work = std::mem::take(&mut slot.freezer);
                     for w in frozen_work {
                         self.work.push_back((node.0, w));
                     }
+                    // A crash recovery that fired while the machine was
+                    // frozen could not boot the process (see
+                    // Ev::ProcessRestart); resume the boot now.
+                    let slot = &self.nodes[node.0];
+                    if !crashed && !slot.running {
+                        let gen = slot.gen;
+                        self.engine.schedule_at(
+                            now + self.config.restart_delay,
+                            Ev::ProcessRestart { node: node.0, gen },
+                        );
+                    }
                 }
             }
             FaultKind::KernelAllocFail => {
-                self.nodes[node.0].sub.set_alloc_fail(inject);
+                if FaultLedger::edge(&mut self.ledger.nodes[node.0].alloc_fail, inject) {
+                    self.nodes[node.0].sub.set_alloc_fail(inject);
+                }
             }
             FaultKind::MemPinFail => {
-                self.nodes[node.0].sub.set_pin_fail(inject);
+                if FaultLedger::edge(&mut self.ledger.nodes[node.0].pin_fail, inject) {
+                    self.nodes[node.0].sub.set_pin_fail(inject);
+                }
             }
             FaultKind::AppHang => {
-                if inject {
-                    self.nodes[node.0].hung = true;
-                    self.work.push_back((node.0, Work::SetHung(true)));
-                } else {
-                    self.nodes[node.0].hung = false;
-                    self.work.push_back((node.0, Work::SetHung(false)));
-                    let frozen_work = std::mem::take(&mut self.nodes[node.0].freezer);
-                    for w in frozen_work {
-                        self.work.push_back((node.0, w));
+                if FaultLedger::edge(&mut self.ledger.nodes[node.0].app_hang, inject) {
+                    if inject {
+                        self.nodes[node.0].hung = true;
+                        self.work.push_back((node.0, Work::SetHung(true)));
+                    } else {
+                        self.nodes[node.0].hung = false;
+                        self.work.push_back((node.0, Work::SetHung(false)));
+                        let frozen_work = std::mem::take(&mut self.nodes[node.0].freezer);
+                        for w in frozen_work {
+                            self.work.push_back((node.0, w));
+                        }
                     }
                 }
             }
             FaultKind::AppCrash => {
                 if inject {
+                    // kill_process is idempotent and each kill schedules
+                    // its own gen-checked restart, so overlapping app
+                    // crashes need no reference count.
                     self.kill_process(now, node.0, spec.duration);
                 } else {
                     // Restart handled by the scheduled ProcessRestart.
@@ -856,6 +966,29 @@ impl ClusterSim {
                         class: spec.class,
                         bad,
                     });
+                }
+            }
+            FaultKind::LinkDegraded => {
+                if FaultLedger::edge(&mut self.ledger.nodes[node.0].degraded, inject) {
+                    self.fabric.set_link_degraded(node, inject);
+                }
+            }
+            FaultKind::CpuThrottle => {
+                if FaultLedger::edge(&mut self.ledger.nodes[node.0].throttle, inject) {
+                    self.nodes[node.0]
+                        .cpu
+                        .set_throttle(if inject { GRAY_THROTTLE_FACTOR } else { 1 });
+                }
+            }
+            FaultKind::PartialPartition => {
+                let peer = spec.peer.expect("partition specs always carry a peer");
+                let key = (node.0.min(peer.0), node.0.max(peer.0));
+                let count = self.ledger.partitions.entry(key).or_insert(0);
+                if FaultLedger::edge(count, inject) {
+                    self.fabric.set_pair_blocked(node, peer, inject);
+                }
+                if *count == 0 {
+                    self.ledger.partitions.remove(&key);
                 }
             }
         }
@@ -988,7 +1121,14 @@ impl ClusterSim {
                         self.engine.schedule_at(at, Ev::Frame(frame));
                     }
                     simnet::fabric::TransmitOutcome::Lost { reason } => {
-                        self.work.push_back((i, Work::TransmitFailed(frame.dst, reason)));
+                        // Gray losses are silent: no NIC error reaches
+                        // the transport, so TCP never sees a connection
+                        // break and VIA never tears a Vi down — only
+                        // end-to-end timeouts can notice. The frame
+                        // still counts as lost in the fabric stats.
+                        if !reason.silent() {
+                            self.work.push_back((i, Work::TransmitFailed(frame.dst, reason)));
+                        }
                     }
                 },
                 Effect::SetTimer { at, key } => {

@@ -7,12 +7,15 @@
 //!   stage markers, and 7-stage extraction (§5).
 //! * [`phase2`] — analytic combination under Table 3 fault loads:
 //!   unavailability, performability, sensitivity scenarios (§6).
+//! * [`montecarlo`] — Monte-Carlo performability over generated fault
+//!   timelines: correlated groups, gray faults, overlapping arrivals.
 //! * [`figures`] — one entry point per table/figure of the paper.
 //! * [`render`] — plain-text rendering of timelines and bar charts.
 //! * [`runner`] — deterministic parallel execution of independent runs.
 
 pub mod cluster;
 pub mod figures;
+pub mod montecarlo;
 pub mod phase1;
 pub mod phase2;
 pub mod render;
@@ -23,6 +26,10 @@ pub use cluster::{
     ClusterReport, ClusterSim,
 };
 
+pub use montecarlo::{
+    closed_form_crosscheck, montecarlo_results, overlap_profile, run_montecarlo, CrossCheck,
+    McReplication, McRun, MonteCarloSetup, OverlapProfile,
+};
 pub use phase1::{
     measure_warmup, run_fault_experiment, run_fault_experiment_traced, FaultRunResult,
     FaultScenario,

@@ -1055,7 +1055,11 @@ fn apply_effects_local(
                     }
                     TxOutcome::Lost { reason } => {
                         sh.lost += 1;
-                        sh.work.push_back((i, Work::TransmitFailed(frame.dst, reason)));
+                        // Mirror of the sequential path: silent (gray)
+                        // losses never surface a transport error.
+                        if !reason.silent() {
+                            sh.work.push_back((i, Work::TransmitFailed(frame.dst, reason)));
+                        }
                     }
                 }
             }

@@ -98,8 +98,15 @@ pub fn scenario_for(fault: ModelFault, scale: RunScale) -> Option<FaultScenario>
 }
 
 /// The model fault class a phase-1 [`FaultKind`] measures — the
-/// inverse of [`scenario_for`]'s mapping (total: every injectable kind
-/// lands in one of Table 3's base classes).
+/// inverse of [`scenario_for`]'s mapping (total over Table 2: every
+/// catalogued kind lands in one of Table 3's base classes).
+///
+/// # Panics
+///
+/// Panics for the gray extensions ([`FaultKind::GRAY`]): the
+/// closed-form single-fault model has no availability class for a
+/// component that never fail-stops — gray faults are scored by the
+/// Monte-Carlo estimator instead.
 pub fn model_for_kind(kind: FaultKind) -> ModelFault {
     match kind {
         FaultKind::LinkDown => ModelFault::LinkDown,
@@ -113,10 +120,13 @@ pub fn model_for_kind(kind: FaultKind) -> ModelFault {
         FaultKind::BadParamNull => ModelFault::BadNull,
         FaultKind::BadParamOffPtr => ModelFault::BadOffPtr,
         FaultKind::BadParamOffSize => ModelFault::BadOffSize,
+        FaultKind::LinkDegraded | FaultKind::CpuThrottle | FaultKind::PartialPartition => {
+            panic!("{kind} is gray: the closed-form model has no class for it (use montecarlo)")
+        }
     }
 }
 
-fn config_for(version: PressVersion, scale: RunScale) -> ClusterConfig {
+pub(crate) fn config_for(version: PressVersion, scale: RunScale) -> ClusterConfig {
     match scale {
         RunScale::Paper => ClusterConfig::fault_experiment(version),
         RunScale::Small => ClusterConfig::small(version),

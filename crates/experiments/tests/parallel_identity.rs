@@ -63,6 +63,64 @@ fn remaining_timeline_figures_identical_across_sim_threads() {
     }
 }
 
+/// A reduced Monte-Carlo text render for the parity sweep: the full
+/// showcase plus cross-check is verify.sh territory; two replications
+/// exercise the same code paths (generated multi-fault campaigns,
+/// correlated expansion, gray faults concurrent with fail-stop ones)
+/// at a fraction of the wall time.
+fn mc_text(setup: &experiments::MonteCarloSetup, jobs: usize) -> String {
+    let run = experiments::run_montecarlo(setup, RunScale::Small, 2003, jobs);
+    // Fold every numeric output into the parity fingerprint: the
+    // estimate, each replication's measurements, and the campaigns.
+    let mut s = format!("{:?} {:?}", run.result, run.measure_from);
+    for rep in &run.reps {
+        s.push_str(&format!(
+            "\n{:x} {:?} {:?} {:?}",
+            rep.seed, rep.overlap, rep.campaign, rep.series.points
+        ));
+    }
+    s
+}
+
+#[test]
+fn montecarlo_multi_fault_identical_across_sim_threads_and_jobs() {
+    use press::PressVersion;
+    let mut setup = experiments::MonteCarloSetup::showcase(PressVersion::TcpHb, RunScale::Small);
+    setup.replications = 2;
+    sweep("montecarlo-showcase", &|jobs| mc_text(&setup, jobs));
+}
+
+#[test]
+fn montecarlo_gray_campaign_identical_across_sim_threads_and_jobs() {
+    use mendosus::{ArrivalClass, FaultKind};
+    use press::PressVersion;
+    use simnet::SimDuration;
+    // A gray-only universe: silent degradation, throttling, and partial
+    // partitions with no fail-stop signal at all — the regime where the
+    // sequential and sharded transports must still agree bit-for-bit.
+    let mut setup = experiments::MonteCarloSetup::showcase(PressVersion::Via3, RunScale::Small);
+    setup.classes = vec![
+        ArrivalClass::new(
+            FaultKind::LinkDegraded,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(40),
+        ),
+        ArrivalClass::new(
+            FaultKind::CpuThrottle,
+            SimDuration::from_secs(80),
+            SimDuration::from_secs(35),
+        ),
+        ArrivalClass::new(
+            FaultKind::PartialPartition,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(30),
+        ),
+    ];
+    setup.rules.clear();
+    setup.replications = 2;
+    sweep("montecarlo-gray", &|jobs| mc_text(&setup, jobs));
+}
+
 #[test]
 fn profile_sweep_identical_across_sim_threads() {
     use experiments::figures::{build_profiles, crossover, fig6};

@@ -15,16 +15,30 @@
 //!   corrupts one `send`/`VipPostSend` call (NULL pointer, off-by-N data
 //!   pointer, off-by-N size with N ∈ [0, 100], per the field study the
 //!   paper cites in §4.3).
+//! * [`CorrelationRule`] — declarative correlated fault groups: a root
+//!   fault (switch failure, rack power event) expands into its
+//!   consequent faults with one shared injection instant.
+//! * [`ArrivalClass`] / [`generate_trace`] — seeded Poisson fault
+//!   arrivals per class, producing overlapping multi-fault campaigns
+//!   that are a pure function of the seed.
+//!
+//! Beyond Table 2, [`FaultKind::GRAY`] adds gray (degraded-but-alive)
+//! classes: degraded links, throttled CPUs, and partial partitions,
+//! which misbehave without ever raising a fail-stop signal.
 //!
 //! Mendosus itself only *schedules and describes* faults; the
 //! composition layer (the `experiments` crate) applies each
 //! [`FaultAction`] to the fabric, transports, and server processes, just
 //! as the real Mendosus drives kernel modules and user-level daemons.
 
+pub mod arrivals;
 pub mod campaign;
+pub mod correlate;
 pub mod fault;
 pub mod interpose;
 
-pub use campaign::{Campaign, FaultAction, FaultPhase};
+pub use arrivals::{generate_trace, ArrivalClass};
+pub use campaign::{Campaign, CampaignError, FaultAction, FaultInterval, FaultPhase};
+pub use correlate::{Consequence, CorrelationRule};
 pub use fault::{FaultKind, FaultSpec};
 pub use interpose::{BadParam, Mangler, PlannedMangle};

@@ -10,6 +10,10 @@
 //!   phase-2 AT/AA/P projection, Table 3's fault-load weights, and the
 //!   `repro -- all` wall-time history. No JavaScript, no network: the
 //!   file is the artifact.
+//! - [`montecarlo::render_mc_report`] is the dashboard's Monte-Carlo
+//!   counterpart: per-replication timelines with one band per
+//!   active-fault interval (stacked into lanes when faults overlap)
+//!   and the AT/AA confidence intervals.
 //! - [`audit::audit_run`] re-derives each run's stage segmentation
 //!   *blind* — an exact piecewise-constant change-point fit over the
 //!   raw throughput series, which never sees the run log — and diffs it
@@ -23,7 +27,9 @@
 pub mod audit;
 pub mod dashboard;
 mod html;
+pub mod montecarlo;
 mod svg;
 
 pub use audit::{audit_run, audit_series, AuditConfig, AuditSegment, Finding, FindingKind, RunAudit};
 pub use dashboard::{parse_bench_history, render_report, BenchHistoryPoint, ReportMeta};
+pub use montecarlo::render_mc_report;

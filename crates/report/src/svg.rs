@@ -238,6 +238,200 @@ pub fn timeline_svg(chart: &TimelineChart<'_>, aria_label: &str) -> String {
     s
 }
 
+/// One fault's active window on a Monte-Carlo timeline.
+pub struct McBand {
+    /// Injection time (seconds).
+    pub t0: f64,
+    /// Recovery time, clipped to the run end (seconds).
+    pub t1: f64,
+    /// Short label ("Node crash n2").
+    pub label: String,
+    /// Whether the fault is gray (degraded-but-alive) rather than
+    /// fail-stop.
+    pub gray: bool,
+}
+
+/// Renders one Monte-Carlo replication's timeline: the measured curve,
+/// the Tn reference, the blind-fit overlay, a translucent wash over the
+/// plot for every active-fault window, and a stacked lane per
+/// concurrent fault below the axis (fail-stop in the critical color,
+/// gray faults in the serious color). The SVG grows taller as lanes
+/// stack, so arbitrarily overlapping campaigns stay readable.
+pub fn mc_timeline_svg(
+    series: &TimeSeries,
+    fit: &[AuditSegment],
+    tn: f64,
+    end: f64,
+    bands: &[McBand],
+    aria_label: &str,
+) -> String {
+    let end = end.max(1.0);
+    let peak = series.max().unwrap_or(0.0).max(tn).max(1.0);
+    let ymax = peak * 1.08;
+    let x = |t: f64| L + (t / end).clamp(0.0, 1.0) * PLOT_W;
+    let y = |v: f64| T + PLOT_H * (1.0 - (v / ymax).clamp(0.0, 1.0));
+
+    // Greedy first-fit lane assignment: bands arrive sorted by start,
+    // each takes the first lane free at its start time.
+    let mut lane_ends: Vec<f64> = Vec::new();
+    let mut lanes: Vec<usize> = Vec::with_capacity(bands.len());
+    for b in bands {
+        let lane = lane_ends
+            .iter()
+            .position(|&e| e <= b.t0)
+            .unwrap_or(lane_ends.len());
+        if lane == lane_ends.len() {
+            lane_ends.push(b.t1);
+        } else {
+            lane_ends[lane] = b.t1;
+        }
+        lanes.push(lane);
+    }
+    const LANE_H: f64 = 11.0;
+    let lane_y0 = T + PLOT_H + 20.0;
+    let h = lane_y0 + lane_ends.len() as f64 * LANE_H + 6.0;
+
+    let mut s = format!(
+        "<svg viewBox=\"0 0 {w} {h}\" width=\"{w}\" height=\"{h}\" role=\"img\" \
+         aria-label=\"{label}\" xmlns=\"http://www.w3.org/2000/svg\">\n",
+        w = c(W),
+        h = c(h),
+        label = esc(aria_label),
+    );
+
+    // Active-fault washes over the plot.
+    for b in bands {
+        let (x0, x1) = (x(b.t0), x(b.t1));
+        let var = if b.gray { "--status-serious" } else { "--status-critical" };
+        s.push_str(&format!(
+            "<rect x=\"{x0}\" y=\"{y0}\" width=\"{w}\" height=\"{ph}\" \
+             style=\"fill:var({var});opacity:0.05\"/>\n",
+            x0 = c(x0),
+            y0 = c(T),
+            w = c((x1 - x0).max(0.5)),
+            ph = c(PLOT_H),
+        ));
+    }
+
+    // Gridlines + ticks + baseline, same recipe as the stage timeline.
+    let ystep = nice_step(ymax, 4);
+    let mut v = 0.0;
+    while v <= ymax {
+        s.push_str(&format!(
+            "<line x1=\"{x0}\" y1=\"{yy}\" x2=\"{x1}\" y2=\"{yy}\" \
+             style=\"stroke:var(--gridline);stroke-width:1\"/>\n\
+             <text x=\"{lx}\" y=\"{ly}\" text-anchor=\"end\" \
+             style=\"fill:var(--muted)\">{val:.0}</text>\n",
+            x0 = c(L),
+            x1 = c(W - R),
+            yy = c(y(v)),
+            lx = c(L - 6.0),
+            ly = c(y(v) + 3.5),
+            val = v,
+        ));
+        v += ystep;
+    }
+    let xstep = nice_step(end, 6);
+    let mut t = 0.0;
+    while t <= end {
+        s.push_str(&format!(
+            "<text x=\"{x}\" y=\"{y}\" text-anchor=\"middle\" \
+             style=\"fill:var(--muted)\">{t:.0}s</text>\n",
+            x = c(x(t)),
+            y = c(T + PLOT_H + 14.0),
+        ));
+        t += xstep;
+    }
+    s.push_str(&format!(
+        "<line x1=\"{x0}\" y1=\"{yy}\" x2=\"{x1}\" y2=\"{yy}\" \
+         style=\"stroke:var(--baseline);stroke-width:1\"/>\n",
+        x0 = c(L),
+        x1 = c(W - R),
+        yy = c(T + PLOT_H),
+    ));
+
+    // Tn reference line.
+    s.push_str(&format!(
+        "<line x1=\"{x0}\" y1=\"{yy}\" x2=\"{x1}\" y2=\"{yy}\" \
+         style=\"stroke:var(--text-secondary);stroke-width:1;stroke-dasharray:2 3\"/>\n\
+         <text x=\"{lx}\" y=\"{ly}\" text-anchor=\"end\" \
+         style=\"fill:var(--text-secondary)\">Tn</text>\n",
+        x0 = c(L),
+        x1 = c(W - R),
+        yy = c(y(tn)),
+        lx = c(W - R - 2.0),
+        ly = c(y(tn) - 4.0),
+    ));
+
+    // Blind-fit overlay under the measured curve.
+    if !fit.is_empty() {
+        let mut d = String::new();
+        for (i, seg) in fit.iter().enumerate() {
+            if i == 0 {
+                d.push_str(&format!("M{} {}", c(x(seg.t0)), c(y(seg.mean))));
+            } else {
+                d.push_str(&format!("V{}", c(y(seg.mean))));
+            }
+            d.push_str(&format!("H{}", c(x(seg.t1))));
+        }
+        s.push_str(&format!(
+            "<path d=\"{d}\" style=\"stroke:var(--series-2);stroke-width:2;fill:none;opacity:0.9\"/>\n",
+        ));
+    }
+
+    // Measured throughput.
+    let pts: Vec<String> = series
+        .points
+        .iter()
+        .filter(|(pt, pv)| pt.is_finite() && pv.is_finite())
+        .map(|&(pt, pv)| format!("{},{}", c(x(pt)), c(y(pv.max(0.0)))))
+        .collect();
+    if !pts.is_empty() {
+        s.push_str(&format!(
+            "<polyline points=\"{}\" style=\"stroke:var(--series-1);stroke-width:2;fill:none\"/>\n",
+            pts.join(" "),
+        ));
+    }
+
+    // Legend.
+    let legend_x = W - R - 196.0;
+    s.push_str(&format!(
+        "<rect x=\"{x1}\" y=\"6\" width=\"14\" height=\"3\" style=\"fill:var(--series-1)\"/>\n\
+         <text x=\"{t1}\" y=\"12\" style=\"fill:var(--text-secondary)\">measured</text>\n\
+         <rect x=\"{x2}\" y=\"6\" width=\"14\" height=\"3\" style=\"fill:var(--series-2)\"/>\n\
+         <text x=\"{t2}\" y=\"12\" style=\"fill:var(--text-secondary)\">blind fit</text>\n",
+        x1 = c(legend_x),
+        t1 = c(legend_x + 18.0),
+        x2 = c(legend_x + 90.0),
+        t2 = c(legend_x + 108.0),
+    ));
+
+    // Fault lanes below the axis.
+    for (b, lane) in bands.iter().zip(&lanes) {
+        let (x0, x1) = (x(b.t0), x(b.t1));
+        let ly = lane_y0 + *lane as f64 * LANE_H;
+        let var = if b.gray { "--status-serious" } else { "--status-critical" };
+        s.push_str(&format!(
+            "<rect x=\"{x0}\" y=\"{ly}\" width=\"{w}\" height=\"7\" rx=\"2\" \
+             style=\"fill:var({var});opacity:0.55\"/>\n",
+            x0 = c(x0),
+            ly = c(ly),
+            w = c((x1 - x0).max(1.0)),
+        ));
+        if x1 - x0 >= 56.0 {
+            s.push_str(&format!(
+                "<text x=\"{tx}\" y=\"{ty}\" style=\"fill:var(--muted)\">{label}</text>\n",
+                tx = c(x0 + 2.0),
+                ty = c(ly + 6.5),
+                label = esc(&b.label),
+            ));
+        }
+    }
+
+    s.push_str("</svg>\n");
+    s
+}
+
 /// A small single-series sparkline with first/last value labels — used
 /// for the `repro -- all` wall-time history.
 pub fn history_svg(values: &[f64], unit: &str, aria_label: &str) -> String {

@@ -22,10 +22,25 @@ use crate::time::{SimDuration, SimTime};
 /// assert_eq!(done1, now + SimDuration::from_millis(2));
 /// assert_eq!(done2, now + SimDuration::from_millis(5)); // queued behind the first
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CpuMeter {
     busy_until: SimTime,
     total_busy: SimDuration,
+    /// Every charged cost is multiplied by this factor — a gray
+    /// "slow-but-alive" node runs at `1/throttle` speed while still
+    /// answering everything (heartbeats included), so failure detectors
+    /// that only check liveness never fire.
+    throttle: u32,
+}
+
+impl Default for CpuMeter {
+    fn default() -> Self {
+        CpuMeter {
+            busy_until: SimTime::ZERO,
+            total_busy: SimDuration::ZERO,
+            throttle: 1,
+        }
+    }
 }
 
 impl CpuMeter {
@@ -36,12 +51,33 @@ impl CpuMeter {
 
     /// Charges `cost` of CPU work submitted at `now` and returns the time
     /// the work completes. Work queues FIFO behind anything already
-    /// charged.
+    /// charged. While throttled (see [`CpuMeter::set_throttle`]) the
+    /// effective cost is `cost * throttle`.
     pub fn charge(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+        let cost = cost * u64::from(self.throttle);
         let start = self.busy_until.max(now);
         self.busy_until = start + cost;
         self.total_busy += cost;
         self.busy_until
+    }
+
+    /// Sets the slowdown multiplier applied to every subsequent charge
+    /// (gray-fault injection). `1` restores full speed. Already-queued
+    /// work is unaffected — the throttle changes how fast new work
+    /// executes, not history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero (a stopped CPU is a crash, not a
+    /// throttle).
+    pub fn set_throttle(&mut self, factor: u32) {
+        assert!(factor > 0, "throttle factor must be at least 1");
+        self.throttle = factor;
+    }
+
+    /// The current slowdown multiplier (1 = full speed).
+    pub fn throttle(&self) -> u32 {
+        self.throttle
     }
 
     /// The time at which all currently charged work completes.
@@ -131,5 +167,30 @@ mod tests {
     fn utilization_is_zero_at_time_zero() {
         let cpu = CpuMeter::new();
         assert_eq!(cpu.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn throttle_scales_new_charges_only() {
+        let mut cpu = CpuMeter::new();
+        assert_eq!(cpu.throttle(), 1);
+        let t0 = SimTime::from_secs(1);
+        let a = cpu.charge(t0, SimDuration::from_millis(10));
+        assert_eq!(a, t0 + SimDuration::from_millis(10));
+
+        cpu.set_throttle(4);
+        // Queued horizon is untouched; the next charge costs 4x.
+        let b = cpu.charge(t0, SimDuration::from_millis(10));
+        assert_eq!(b, t0 + SimDuration::from_millis(10 + 40));
+        assert_eq!(cpu.total_busy(), SimDuration::from_millis(50));
+
+        cpu.set_throttle(1);
+        let c = cpu.charge(t0, SimDuration::from_millis(10));
+        assert_eq!(c, t0 + SimDuration::from_millis(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "throttle factor")]
+    fn zero_throttle_is_rejected() {
+        CpuMeter::new().set_throttle(0);
     }
 }

@@ -58,6 +58,13 @@ pub enum LossReason {
     RxQueueOverrun,
     /// Dropped by explicit fault injection (transient packet loss).
     Injected,
+    /// Dropped on a gray (degraded) link: the link is nominally up, so
+    /// neither NIC raises an error — the frame just never arrives.
+    LinkDegraded,
+    /// Dropped inside the switch by a partial partition: the switch can
+    /// no longer forward between this pair of ports, but both links
+    /// stay up and no error is reported anywhere.
+    Partitioned,
 }
 
 impl LossReason {
@@ -71,6 +78,16 @@ impl LossReason {
             self,
             LossReason::SrcLinkDown | LossReason::SrcNodeDown | LossReason::TxQueueOverrun
         )
+    }
+
+    /// Whether the loss is *gray*: no component anywhere reports an
+    /// error, so the transport must not receive a failure notification
+    /// — the frame silently vanishes and only end-to-end timeouts can
+    /// notice. This is what distinguishes gray faults from the
+    /// fail-stop loss reasons above (which the composition layer turns
+    /// into `transmit_failed` callbacks).
+    pub fn silent(self) -> bool {
+        matches!(self, LossReason::LinkDegraded | LossReason::Partitioned)
     }
 }
 
@@ -189,7 +206,22 @@ pub struct TxPort {
     pub busy: SimTime,
     /// Upcoming frames from this node to drop (fault injection).
     pub drop_next: u32,
+    /// Frames this node has sent across a degraded (gray) link; every
+    /// [`GRAY_DROP_PERIOD`]-th such frame is dropped. Sender-side state
+    /// so the loss decision is made entirely at the source — the
+    /// parallel driver's replay assumes committed launches always
+    /// deliver.
+    pub gray_seq: u32,
 }
+
+/// One in every this-many frames crossing a degraded link is lost.
+pub const GRAY_DROP_PERIOD: u32 = 50;
+
+/// Extra one-way latency added per degraded endpoint a frame crosses
+/// (a flapping negotiation / CRC-retry penalty). Latency only ever
+/// *increases*, so the conservative-parallel lookahead bound — a floor
+/// on cross-node visibility — remains valid.
+pub const GRAY_EXTRA_LATENCY: SimDuration = SimDuration::from_micros(150);
 
 /// A point-in-time snapshot of the fabric's up/down flags. Flags only
 /// change at fault-injection instants, which the parallel driver
@@ -203,6 +235,11 @@ pub struct FabricFlags {
     pub node_up: Vec<bool>,
     /// Switch state.
     pub switch_up: bool,
+    /// Per-node gray-degradation state (elevated latency + loss).
+    pub degraded: Vec<bool>,
+    /// Per-node bitmask of peers the switch silently refuses to reach
+    /// (partial partition; symmetric).
+    pub blocked: Vec<u64>,
 }
 
 /// Counters describing fabric activity, for assertions and reports.
@@ -241,6 +278,11 @@ pub struct Fabric {
     rx_busy: Vec<SimTime>,
     /// Number of upcoming frames to drop per (src) — fault injection.
     drop_next_from: Vec<u32>,
+    /// Per-node degraded-link counter state (see [`TxPort::gray_seq`]).
+    gray_seq: Vec<u32>,
+    /// Gray state: per-node degradation and pairwise partition masks.
+    degraded: Vec<bool>,
+    blocked: Vec<u64>,
     stats: FabricStats,
 }
 
@@ -262,6 +304,9 @@ impl Fabric {
             tx_busy: vec![SimTime::ZERO; n],
             rx_busy: vec![SimTime::ZERO; n],
             drop_next_from: vec![0; n],
+            gray_seq: vec![0; n],
+            degraded: vec![false; n],
+            blocked: vec![0; n],
             stats: FabricStats::default(),
         }
     }
@@ -289,6 +334,45 @@ impl Fabric {
     /// Marks a node as crashed (NIC dead) or alive.
     pub fn set_node_up(&mut self, node: NodeId, up: bool) {
         self.node_up[node.0] = up;
+    }
+
+    /// Marks `node`'s link as gray-degraded (or healthy again): frames
+    /// crossing it pick up [`GRAY_EXTRA_LATENCY`] per degraded endpoint
+    /// and every [`GRAY_DROP_PERIOD`]-th one is silently lost. The link
+    /// still reports "up" everywhere.
+    pub fn set_link_degraded(&mut self, node: NodeId, degraded: bool) {
+        self.degraded[node.0] = degraded;
+    }
+
+    /// Whether `node`'s link is currently gray-degraded.
+    pub fn link_degraded(&self, node: NodeId) -> bool {
+        self.degraded[node.0]
+    }
+
+    /// Blocks (or unblocks) switch forwarding between `a` and `b` in
+    /// both directions — a partial partition. Both links stay up and no
+    /// error is reported; frames between the pair silently vanish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node index is ≥ 64 (the mask width) or the two
+    /// nodes are the same.
+    pub fn set_pair_blocked(&mut self, a: NodeId, b: NodeId, blocked: bool) {
+        assert!(a.0 < 64 && b.0 < 64, "partition masks cover 64 nodes");
+        assert_ne!(a.0, b.0, "a node cannot be partitioned from itself");
+        if blocked {
+            self.blocked[a.0] |= 1 << b.0;
+            self.blocked[b.0] |= 1 << a.0;
+        } else {
+            self.blocked[a.0] &= !(1 << b.0);
+            self.blocked[b.0] &= !(1 << a.0);
+        }
+    }
+
+    /// Whether the switch currently refuses to forward between `a` and
+    /// `b` (partial partition).
+    pub fn pair_blocked(&self, a: NodeId, b: NodeId) -> bool {
+        self.blocked[a.0] & (1 << b.0) != 0
     }
 
     /// Whether `node`'s link is currently up.
@@ -338,14 +422,18 @@ impl Fabric {
             link_up: &self.link_up,
             node_up: &self.node_up,
             switch_up: self.switch_up,
+            degraded: &self.degraded,
+            blocked: &self.blocked,
         };
         let mut port = TxPort {
             busy: self.tx_busy[src],
             drop_next: self.drop_next_from[src],
+            gray_seq: self.gray_seq[src],
         };
         let outcome = tx_phase_inner(&self.config, flags, &mut port, now, frame.src, frame.dst, frame.bytes);
         self.tx_busy[src] = port.busy;
         self.drop_next_from[src] = port.drop_next;
+        self.gray_seq[src] = port.gray_seq;
         match outcome {
             TxOutcome::Lost { reason } => {
                 self.stats.lost += 1;
@@ -372,6 +460,8 @@ impl Fabric {
             link_up: &flags.link_up,
             node_up: &flags.node_up,
             switch_up: flags.switch_up,
+            degraded: &flags.degraded,
+            blocked: &flags.blocked,
         };
         tx_phase_inner(config, view, port, now, frame.src, frame.dst, frame.bytes)
     }
@@ -404,6 +494,8 @@ impl Fabric {
             link_up: self.link_up.clone(),
             node_up: self.node_up.clone(),
             switch_up: self.switch_up,
+            degraded: self.degraded.clone(),
+            blocked: self.blocked.clone(),
         }
     }
 
@@ -415,6 +507,10 @@ impl Fabric {
         out.node_up.clear();
         out.node_up.extend_from_slice(&self.node_up);
         out.switch_up = self.switch_up;
+        out.degraded.clear();
+        out.degraded.extend_from_slice(&self.degraded);
+        out.blocked.clear();
+        out.blocked.extend_from_slice(&self.blocked);
     }
 
     /// Extracts `node`'s sender-side port state. The master copy keeps
@@ -424,6 +520,7 @@ impl Fabric {
         TxPort {
             busy: std::mem::take(&mut self.tx_busy[node.0]),
             drop_next: std::mem::take(&mut self.drop_next_from[node.0]),
+            gray_seq: std::mem::take(&mut self.gray_seq[node.0]),
         }
     }
 
@@ -432,6 +529,7 @@ impl Fabric {
     pub fn restore_tx_port(&mut self, node: NodeId, port: TxPort) {
         self.tx_busy[node.0] = port.busy;
         self.drop_next_from[node.0] = port.drop_next;
+        self.gray_seq[node.0] = port.gray_seq;
     }
 
     /// Adds `n` frames to the lost tally (worker-side tx losses folded
@@ -447,6 +545,8 @@ struct FlagView<'a> {
     link_up: &'a [bool],
     node_up: &'a [bool],
     switch_up: bool,
+    degraded: &'a [bool],
+    blocked: &'a [u64],
 }
 
 /// The one true sender-side transmission routine: loss-check order and
@@ -477,11 +577,29 @@ fn tx_phase_inner(
         Some(LossReason::DstLinkDown)
     } else if !flags.node_up[dst] {
         Some(LossReason::DstNodeDown)
+    } else if flags.blocked[src] & (1 << dst) != 0 {
+        Some(LossReason::Partitioned)
     } else {
         None
     };
     if let Some(reason) = reason {
         return TxOutcome::Lost { reason };
+    }
+
+    // Gray degradation: the path is nominally up, but frames crossing a
+    // degraded endpoint suffer periodic silent loss. The counter lives
+    // in the sender's port state so the decision is made entirely at
+    // the source (the parallel replay assumes committed launches always
+    // deliver) and is deterministic for a given frame sequence.
+    let gray_endpoints =
+        usize::from(flags.degraded[src]) + usize::from(flags.degraded[dst]);
+    if gray_endpoints > 0 {
+        port.gray_seq += 1;
+        if port.gray_seq.is_multiple_of(GRAY_DROP_PERIOD) {
+            return TxOutcome::Lost {
+                reason: LossReason::LinkDegraded,
+            };
+        }
     }
 
     let wire = config.wire_time(bytes);
@@ -496,10 +614,14 @@ fn tx_phase_inner(
     let tx_end = tx_start + wire;
     port.busy = tx_end;
 
-    // Propagation through the switch.
+    // Propagation through the switch, plus the gray penalty per
+    // degraded endpoint crossed. Extra latency only ever increases, so
+    // the lookahead floor on cross-node visibility stays valid.
     let at_switch = tx_end + config.link_latency + config.switch_latency;
     TxOutcome::Launched {
-        at_dst_port: at_switch + config.link_latency,
+        at_dst_port: at_switch
+            + config.link_latency
+            + GRAY_EXTRA_LATENCY * gray_endpoints as u64,
     }
 }
 
@@ -653,5 +775,139 @@ mod tests {
             f.transmit(SimTime::ZERO, &frame(0, 3, 64)),
             TransmitOutcome::Delivered { .. }
         ));
+    }
+
+    #[test]
+    fn degraded_link_adds_latency_and_drops_periodically() {
+        let mut f = Fabric::new(FabricConfig::clan_four_nodes());
+        let healthy = f
+            .transmit(SimTime::ZERO, &frame(0, 1, 1000))
+            .delivery_time()
+            .unwrap();
+
+        f.set_link_degraded(NodeId(0), true);
+        assert!(f.link_degraded(NodeId(0)));
+        // The path still reports healthy: gray faults are invisible to
+        // link-level health checks.
+        assert!(f.path_up(NodeId(0), NodeId(1)));
+
+        let mut g = Fabric::new(FabricConfig::clan_four_nodes());
+        g.set_link_degraded(NodeId(0), true);
+        let gray = g
+            .transmit(SimTime::ZERO, &frame(0, 1, 1000))
+            .delivery_time()
+            .unwrap();
+        assert_eq!(
+            gray.as_nanos() - healthy.as_nanos(),
+            GRAY_EXTRA_LATENCY.as_nanos(),
+            "one degraded endpoint adds exactly one gray penalty"
+        );
+
+        // Every GRAY_DROP_PERIOD-th frame across the gray link is lost,
+        // silently: no sender-observable error.
+        let mut losses = 0u32;
+        let mut sent = 0u32;
+        for i in 0..(2 * GRAY_DROP_PERIOD) {
+            let t = SimTime::ZERO + SimDuration::from_millis(u64::from(i + 1));
+            match g.transmit(t, &frame(0, 1, 64)) {
+                TransmitOutcome::Lost { reason } => {
+                    assert_eq!(reason, LossReason::LinkDegraded);
+                    assert!(reason.silent());
+                    assert!(!reason.sender_observable());
+                    losses += 1;
+                }
+                TransmitOutcome::Delivered { .. } => {}
+            }
+            sent += 1;
+        }
+        assert_eq!(sent, 2 * GRAY_DROP_PERIOD);
+        assert_eq!(losses, 2, "exactly one drop per period");
+    }
+
+    #[test]
+    fn both_endpoints_degraded_doubles_the_penalty() {
+        let mut f = Fabric::new(FabricConfig::clan_four_nodes());
+        let healthy = f
+            .transmit(SimTime::ZERO, &frame(0, 1, 1000))
+            .delivery_time()
+            .unwrap();
+        let mut g = Fabric::new(FabricConfig::clan_four_nodes());
+        g.set_link_degraded(NodeId(0), true);
+        g.set_link_degraded(NodeId(1), true);
+        let gray = g
+            .transmit(SimTime::ZERO, &frame(0, 1, 1000))
+            .delivery_time()
+            .unwrap();
+        assert_eq!(
+            gray.as_nanos() - healthy.as_nanos(),
+            2 * GRAY_EXTRA_LATENCY.as_nanos()
+        );
+    }
+
+    #[test]
+    fn partial_partition_is_symmetric_silent_and_pairwise() {
+        let mut f = Fabric::new(FabricConfig::clan_four_nodes());
+        f.set_pair_blocked(NodeId(0), NodeId(2), true);
+        assert!(f.pair_blocked(NodeId(0), NodeId(2)));
+        assert!(f.pair_blocked(NodeId(2), NodeId(0)));
+        // Health checks still say the path is fine.
+        assert!(f.path_up(NodeId(0), NodeId(2)));
+
+        for (src, dst) in [(0usize, 2usize), (2, 0)] {
+            let TransmitOutcome::Lost { reason } =
+                f.transmit(SimTime::ZERO, &frame(src, dst, 64))
+            else {
+                panic!("expected {src}->{dst} to be partitioned");
+            };
+            assert_eq!(reason, LossReason::Partitioned);
+            assert!(reason.silent());
+            assert!(!reason.sender_observable());
+        }
+        // Unrelated pairs are untouched.
+        assert!(matches!(
+            f.transmit(SimTime::ZERO, &frame(0, 1, 64)),
+            TransmitOutcome::Delivered { .. }
+        ));
+        assert!(matches!(
+            f.transmit(SimTime::ZERO, &frame(1, 2, 64)),
+            TransmitOutcome::Delivered { .. }
+        ));
+
+        f.set_pair_blocked(NodeId(0), NodeId(2), false);
+        assert!(!f.pair_blocked(NodeId(0), NodeId(2)));
+        assert!(matches!(
+            f.transmit(SimTime::ZERO, &frame(0, 2, 64)),
+            TransmitOutcome::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn gray_state_rides_the_tx_port_through_take_and_restore() {
+        let mut f = Fabric::new(FabricConfig::clan_four_nodes());
+        f.set_link_degraded(NodeId(0), true);
+        // Advance the counter partway through a period on the master.
+        for i in 0..10u64 {
+            let t = SimTime::ZERO + SimDuration::from_millis(i + 1);
+            f.transmit(t, &frame(0, 1, 64));
+        }
+        let flags = f.flags();
+        assert!(flags.degraded[0]);
+        let mut port = f.take_tx_port(NodeId(0));
+        assert_eq!(port.gray_seq, 10);
+
+        // Worker-side phase continues the same counter.
+        let cfg = f.config().clone();
+        let mut lost = 0u32;
+        for i in 0..GRAY_DROP_PERIOD {
+            let t = SimTime::ZERO + SimDuration::from_millis(u64::from(i) + 100);
+            if matches!(
+                Fabric::tx_phase(&cfg, &flags, &mut port, t, &frame(0, 1, 64)),
+                TxOutcome::Lost { .. }
+            ) {
+                lost += 1;
+            }
+        }
+        assert_eq!(lost, 1);
+        f.restore_tx_port(NodeId(0), port);
     }
 }

@@ -26,7 +26,11 @@ pub enum WirePayload<M> {
 /// Classifies application messages so fault interposition can target a
 /// particular call site (e.g. mangle only file-data sends) and so cost
 /// models can treat bulk data differently from control traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The `Ord` derive (declaration order) gives fault specs a total
+/// order, which the campaign layer uses to break same-instant ties
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MsgClass {
     /// A forwarded HTTP request (small).
     Forward,

@@ -89,6 +89,31 @@ echo "== repro crossover --small vs golden"
 cargo run --release -q -p bench --bin repro -- crossover --small --jobs 0 >"$tmp_out" 2>/dev/null
 diff -u scripts/golden_crossover_small.txt "$tmp_out"
 
+echo "== repro montecarlo --small vs golden"
+# The Monte-Carlo estimator replays generated multi-fault timelines
+# (correlated groups, gray faults, overlapping arrivals); the golden
+# pins the whole estimate — every replication row, the confidence
+# intervals, and the closed-form cross-check verdict — across --jobs
+# and --sim-threads.
+cargo run --release -q -p bench --bin repro -- montecarlo --small --jobs 0 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_montecarlo_small.txt "$tmp_out"
+cargo run --release -q -p bench --bin repro -- montecarlo --small --sim-threads 2 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_montecarlo_small.txt "$tmp_out"
+echo "   montecarlo identical at --jobs 0 and --sim-threads 2"
+
+echo "== montecarlo sanity gates"
+# The showcase timeline must actually exercise the new fault universe
+# (correlated consequents, gray faults overlapping fail-stop ones),
+# and the single-fault-class run must agree with the closed-form AA
+# within the stated tolerance (the PASS verdict is computed in-binary).
+grep -Eq "overlap: [0-9]+ faults total \([1-9][0-9]* correlated\)" "$tmp_out" \
+    || { echo "montecarlo gate: no correlated faults in the showcase" >&2; exit 1; }
+grep -Eq "gray & fail-stop overlap [1-9][0-9]*\.[0-9] s" "$tmp_out" \
+    || { echo "montecarlo gate: no gray/fail-stop overlap in the showcase" >&2; exit 1; }
+grep -q "tolerance 0.05: PASS" "$tmp_out" \
+    || { echo "montecarlo gate: closed-form cross-check did not PASS" >&2; exit 1; }
+echo "   correlated + gray/fail-stop overlap present; cross-check PASS"
+
 echo "== repro table1 --metrics vs golden"
 cargo run --release -q -p bench --bin repro -- table1 --small --metrics --jobs 0 >"$tmp_out" 2>/dev/null
 diff -u scripts/golden_table1_metrics_small.txt "$tmp_out"
@@ -96,7 +121,7 @@ diff -u scripts/golden_table1_metrics_small.txt "$tmp_out"
 echo "== HTML reports are byte-identical across --jobs"
 tmp_rep1=$(mktemp)
 tmp_rep2=$(mktemp)
-for fig in fig2 fig3; do
+for fig in fig2 fig3 montecarlo; do
     cargo run --release -q -p bench --bin repro -- "$fig" --small --jobs 1 --report "$tmp_rep1" >/dev/null 2>&1
     cargo run --release -q -p bench --bin repro -- "$fig" --small --jobs 0 --report "$tmp_rep2" >/dev/null 2>&1
     cmp "$tmp_rep1" "$tmp_rep2"
