@@ -9,9 +9,18 @@
 //! where `<target>` is one of `table1`, `table2`, `table3`, `fig2`,
 //! `fig3`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `offbyn`, `crossover`, `ablation-membership`, `ablation-heartbeat`,
-//! `audit`, `montecarlo`, or `all`. `--small` runs on the shrunk
-//! test-bed (fast, for smoke-testing the harness; numbers will differ
-//! from the paper's scale).
+//! `membership`, `audit`, `montecarlo`, or `all`. `--small` runs on the
+//! shrunk test-bed (fast, for smoke-testing the harness; numbers will
+//! differ from the paper's scale).
+//!
+//! `membership` sweeps cluster sizes N ∈ {4, 8, 16, 32} with
+//! TCP-PRESS-HB under both failure detectors — the paper's heartbeat
+//! ring and the SWIM epidemic detector (`crates/gossip`) — and prints
+//! the detection-latency crossover table (rack-crash detection,
+//! availability/throughput, gray-fault false exclusions, rejoin
+//! latency). With `--metrics` it also prints the sweep's gauges and the
+//! gossip runs' node-level metric snapshots. Like `montecarlo`, it goes
+//! beyond the paper's tables and is not part of `all`.
 //!
 //! `montecarlo` estimates performability empirically over generated
 //! fault timelines — correlated fault groups, gray faults, and
@@ -351,6 +360,17 @@ fn main() {
     // (including the latency percentiles), golden-gated in verify.sh.
     if metrics && target == "table1" {
         println!("{}", table1_metrics(scale, seed, jobs));
+        return;
+    }
+
+    // `membership [--metrics]`: the ring-vs-gossip detector sweep; with
+    // --metrics, the membership.* gauges and gossip node snapshots too.
+    if target == "membership" {
+        if metrics {
+            println!("{}", experiments::membership_metrics(scale, seed, jobs));
+        } else {
+            println!("{}", experiments::membership::membership(scale, seed, jobs));
+        }
         return;
     }
 

@@ -79,10 +79,11 @@ impl ClusterConfig {
         // VIA-PRESS-5 pins its whole 128 MB cache (32768 pages) plus the
         // startup communication buffers.
         via.pinned_page_limit = 40_000;
+        let press = PressConfig::paper_testbed();
         ClusterConfig {
             version,
-            press: PressConfig::paper_testbed(),
-            fabric: FabricConfig::clan_four_nodes(),
+            fabric: FabricConfig::ring(press.nodes),
+            press,
             tcp: TcpConfig::default(),
             via,
             rate: version.paper_throughput() * 1.06,
@@ -345,6 +346,11 @@ impl ClusterSim {
 
     /// Builds and boots a cluster with a fault campaign armed.
     pub fn with_campaign(config: ClusterConfig, campaign: Campaign, seed: u64) -> Self {
+        let mut config = config;
+        // The epidemic detector derives each node's probe-order stream
+        // from the run seed and its node id (no draw from the main rng,
+        // so Ring runs are bit-identical with or without this field).
+        config.press.gossip.seed = seed;
         let mut rng = SimRng::seed_from(seed);
         let n = config.press.nodes;
         // A booted 4-node cluster keeps a few hundred events in flight;
@@ -612,6 +618,20 @@ impl ClusterSim {
             reg.counter_add("press.exclusions", s.exclusions);
             reg.counter_add("press.rejoined", s.rejoined);
             reg.counter_add("press.merges", s.merges);
+            // Epidemic-detector fan-out counters exist only when the
+            // Gossip detector runs, so Ring snapshots (and their golden
+            // files) are untouched by the membership subsystem.
+            if let Some(g) = slot.press.swim_stats() {
+                reg.counter_add("press.gossip.pings", g.pings);
+                reg.counter_add("press.gossip.acks", g.acks);
+                reg.counter_add("press.gossip.ping_reqs", g.ping_reqs);
+                reg.counter_add("press.gossip.relays", g.relays);
+                reg.counter_add("press.gossip.suspects", g.suspects);
+                reg.counter_add("press.gossip.clears", g.clears);
+                reg.counter_add("press.gossip.refutations", g.refutations);
+                reg.counter_add("press.gossip.confirms", g.confirms);
+                reg.counter_add("press.gossip.updates_sent", g.updates_sent);
+            }
         }
         reg.counter_add(
             "transport.timers_stale_suppressed",

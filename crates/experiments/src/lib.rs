@@ -9,12 +9,16 @@
 //!   unavailability, performability, sensitivity scenarios (§6).
 //! * [`montecarlo`] — Monte-Carlo performability over generated fault
 //!   timelines: correlated groups, gray faults, overlapping arrivals.
+//! * [`membership`] — ring-vs-gossip detector study: detection-latency
+//!   scaling, gray-fault false exclusions, rejoin latency over
+//!   N ∈ {4, 8, 16, 32}.
 //! * [`figures`] — one entry point per table/figure of the paper.
 //! * [`render`] — plain-text rendering of timelines and bar charts.
 //! * [`runner`] — deterministic parallel execution of independent runs.
 
 pub mod cluster;
 pub mod figures;
+pub mod membership;
 pub mod montecarlo;
 pub mod phase1;
 pub mod phase2;
@@ -26,6 +30,9 @@ pub use cluster::{
     ClusterReport, ClusterSim,
 };
 
+pub use membership::{
+    crossover_n, membership_metrics, membership_study, MembershipPoint,
+};
 pub use montecarlo::{
     closed_form_crosscheck, montecarlo_results, overlap_profile, run_montecarlo, CrossCheck,
     McReplication, McRun, MonteCarloSetup, OverlapProfile,

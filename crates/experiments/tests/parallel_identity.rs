@@ -83,6 +83,22 @@ fn mc_text(setup: &experiments::MonteCarloSetup, jobs: usize) -> String {
 }
 
 #[test]
+fn gossip_membership_identical_across_sim_threads_and_jobs() {
+    // One N=4 column of the detector sweep — both detectors, all three
+    // scenarios (rack crash, gray partition, rejoin). The gossip runs
+    // carry the epidemic detector's randomized probe order, so this is
+    // the direct check that SWIM's per-node RNG survives sharding: the
+    // full Debug render of every point must match the sequential
+    // single-job baseline bit for bit.
+    sweep("membership-n4", &|jobs| {
+        format!(
+            "{:?}",
+            experiments::membership::study_points(&[4], RunScale::Small, 2003, jobs, false)
+        )
+    });
+}
+
+#[test]
 fn montecarlo_multi_fault_identical_across_sim_threads_and_jobs() {
     use press::PressVersion;
     let mut setup = experiments::MonteCarloSetup::showcase(PressVersion::TcpHb, RunScale::Small);

@@ -3,6 +3,21 @@
 
 use simnet::SimDuration;
 
+/// Which failure-detection protocol the versions with membership
+/// support (the TCP variants and VIA-PRESS) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipImpl {
+    /// The paper's heartbeat ring: each node beats to its ring
+    /// successor and watches its predecessor against the 3-beat
+    /// threshold. Detection of k simultaneous adjacent failures is
+    /// sequential — one threshold per unmasked node.
+    Ring,
+    /// SWIM-style epidemic membership (`crates/gossip`): random-peer
+    /// probes with indirect ping-req and a suspect→confirm state
+    /// machine. Detection latency stays flat as the cluster grows.
+    Gossip,
+}
+
 /// Static server parameters. [`PressConfig::paper_testbed`] reproduces
 /// the paper's setup (§5.1): 4 nodes, 128 MB file cache per node, two
 /// SCSI disks, normalized file sizes, 5 s heartbeats with a 15 s (3
@@ -49,6 +64,11 @@ pub struct PressConfig {
     pub rejoin_retry: SimDuration,
     /// Rejoin attempts before giving up and serving standalone.
     pub rejoin_attempts: u32,
+    /// Failure-detection protocol for the membership-running versions.
+    /// [`MembershipImpl::Ring`] is the paper's PRESS.
+    pub membership: MembershipImpl,
+    /// Parameters for [`MembershipImpl::Gossip`] (ignored under Ring).
+    pub gossip: gossip::SwimConfig,
     /// Enables the membership-repair extension the paper's §6.2 calls
     /// for ("a rigorous membership algorithm"): nodes periodically probe
     /// excluded peers and re-merge splintered sub-clusters without
@@ -78,6 +98,8 @@ impl PressConfig {
             hb_misses: 3,
             rejoin_retry: SimDuration::from_secs(2),
             rejoin_attempts: 3,
+            membership: MembershipImpl::Ring,
+            gossip: gossip::SwimConfig::default(),
             membership_repair: false,
             repair_probe_interval: SimDuration::from_secs(10),
         }

@@ -67,6 +67,10 @@ pub enum MsgBody {
         /// Monotonic per-sender sequence number.
         seq: u64,
     },
+    /// SWIM epidemic-membership traffic (ping/ping-req/ack with
+    /// piggybacked updates), when `MembershipImpl::Gossip` replaces the
+    /// heartbeat ring.
+    Gossip(gossip::GossipMsg),
     /// Reconfiguration notice: the sender excluded `node` from the
     /// cooperating cluster (the ring is modified on every fault, §3).
     MemberDown {
@@ -110,6 +114,8 @@ impl PressMsg {
             MsgBody::FileResp { .. } => file_bytes,
             MsgBody::CacheAdd { .. } | MsgBody::CacheEvict { .. } => 32,
             MsgBody::Heartbeat { .. } => 32,
+            // Fixed header plus (node, incarnation, state) triples.
+            MsgBody::Gossip(g) => 32 + 16 * g.updates().len() as u32,
             MsgBody::MemberDown { .. } => 32,
             MsgBody::MergeRequest | MsgBody::MemberUp { .. } => 32,
             MsgBody::MergeAccept { members } => 32 + 4 * members.len() as u32,
@@ -127,7 +133,7 @@ impl PressMsg {
             MsgBody::Forward { .. } => MsgClass::Forward,
             MsgBody::FileResp { .. } => MsgClass::FileData,
             MsgBody::CacheAdd { .. } | MsgBody::CacheEvict { .. } => MsgClass::CacheUpdate,
-            MsgBody::Heartbeat { .. } => MsgClass::Heartbeat,
+            MsgBody::Heartbeat { .. } | MsgBody::Gossip(_) => MsgClass::Heartbeat,
             MsgBody::MemberDown { .. }
             | MsgBody::RejoinRequest
             | MsgBody::RejoinInfo { .. }

@@ -30,7 +30,7 @@ use transport::{
 };
 
 use crate::cache::{Directory, LruCache};
-use crate::config::PressConfig;
+use crate::config::{MembershipImpl, PressConfig};
 use crate::msg::{FileId, MsgBody, PressMsg, Request};
 use crate::version::PressVersion;
 
@@ -45,6 +45,8 @@ pub enum AppEvent {
     PendingTimeout(u64),
     /// Periodic heartbeat send/check (TCP-PRESS-HB).
     HeartbeatTick,
+    /// One SWIM protocol period ([`MembershipImpl::Gossip`]).
+    GossipTick,
     /// Periodic rejoin attempt after a restart.
     RejoinTick,
     /// Periodic membership-repair probe (extension, off by default).
@@ -192,6 +194,11 @@ pub struct PressNode {
     rejoin_tries: u32,
     last_hb: BTreeMap<NodeId, SimTime>,
     hb_seq: u64,
+    /// The SWIM detector, present iff this version runs
+    /// [`MembershipImpl::Gossip`].
+    swim: Option<gossip::Swim>,
+    /// When each currently open suspicion started (for trace spans).
+    suspect_since: BTreeMap<NodeId, SimTime>,
     cache: LruCache,
     directory: Directory,
     load_map: Vec<u32>,
@@ -221,6 +228,8 @@ impl PressNode {
             rejoin_tries: 0,
             last_hb: BTreeMap::new(),
             hb_seq: 0,
+            swim: None,
+            suspect_since: BTreeMap::new(),
             cache,
             directory,
             load_map: vec![0; nodes],
@@ -254,6 +263,17 @@ impl PressNode {
     /// Behaviour counters.
     pub fn stats(&self) -> &NodeStats {
         &self.stats
+    }
+
+    /// SWIM protocol counters, when this node runs
+    /// [`MembershipImpl::Gossip`].
+    pub fn swim_stats(&self) -> Option<&gossip::SwimStats> {
+        self.swim.as_ref().map(|s| s.stats())
+    }
+
+    /// Whether this node runs the epidemic detector instead of the ring.
+    fn gossip_active(&self) -> bool {
+        self.version.heartbeats() && self.config.membership == MembershipImpl::Gossip
     }
 
     /// Current cooperating membership (includes self).
@@ -309,7 +329,21 @@ impl PressNode {
                 self.last_hb.insert(peer, ctx.now);
             }
         }
-        if self.version.heartbeats() {
+        self.suspect_since.clear();
+        if self.gossip_active() {
+            // The detector sees the same initial view the node holds: a
+            // warm restart starts alone and learns peers through the
+            // rejoin protocol (admit_member → readmit).
+            self.swim = Some(gossip::Swim::new(
+                self.config.gossip.clone(),
+                self.id,
+                self.members.iter().copied(),
+            ));
+            ctx.app.push(AppEffect::Schedule {
+                at: ctx.now + self.config.gossip.probe_interval,
+                ev: AppEvent::GossipTick,
+            });
+        } else if self.version.heartbeats() {
             ctx.app.push(AppEffect::Schedule {
                 at: ctx.now + self.config.hb_interval,
                 ev: AppEvent::HeartbeatTick,
@@ -581,6 +615,7 @@ impl PressNode {
     pub fn on_app_event<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, ev: AppEvent) {
         match ev {
             AppEvent::HeartbeatTick => self.heartbeat_tick(ctx),
+            AppEvent::GossipTick => self.gossip_tick(ctx),
             AppEvent::RejoinTick => self.rejoin_tick(ctx),
             AppEvent::ProbeTick => self.probe_tick(ctx),
             AppEvent::PendingTimeout(req_id) => {
@@ -643,6 +678,122 @@ impl PressNode {
             at: ctx.now + self.config.hb_interval,
             ev: AppEvent::HeartbeatTick,
         });
+    }
+
+    /// One SWIM protocol period: advance suspicions, escalate stale
+    /// probes, probe the next cycle peer, and carry out whatever the
+    /// state machine asks for. Control-plane like the heartbeats: never
+    /// blocks on the data path.
+    fn gossip_tick<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>) {
+        if !self.gossip_active() {
+            return;
+        }
+        let mut cmds = Vec::new();
+        if let Some(swim) = self.swim.as_mut() {
+            swim.tick(&mut cmds);
+        }
+        self.apply_gossip_commands(ctx, cmds);
+        ctx.app.push(AppEffect::Schedule {
+            at: ctx.now + self.config.gossip.probe_interval,
+            ev: AppEvent::GossipTick,
+        });
+    }
+
+    /// Executes the detector's commands: sends become wire messages,
+    /// confirms become exclusions, suspicion transitions become trace
+    /// spans.
+    fn apply_gossip_commands<S: Substrate<PressMsg> + ?Sized>(
+        &mut self,
+        ctx: &mut NodeCtx<'_, S>,
+        cmds: Vec<gossip::Command>,
+    ) {
+        for cmd in cmds {
+            match cmd {
+                gossip::Command::Send { to, msg } => {
+                    if self.trace {
+                        // Probes are the front of the detection path:
+                        // direct pings and their indirect escalations
+                        // both land on the prober's lane.
+                        let name = match &msg {
+                            gossip::GossipMsg::Ping { .. } => Some("gossip.probe"),
+                            gossip::GossipMsg::PingReq { .. } => Some("gossip.probe_indirect"),
+                            gossip::GossipMsg::Ack { .. } => None,
+                        };
+                        if let Some(name) = name {
+                            ctx.fx.push(transport::Effect::Trace(
+                                telemetry::TraceEvent::instant(
+                                    name,
+                                    "press",
+                                    self.id.0 as u32,
+                                    ctx.now,
+                                )
+                                .arg_u64("peer", to.0 as u64),
+                            ));
+                        }
+                    }
+                    self.send_control(ctx, to, MsgBody::Gossip(msg));
+                }
+                gossip::Command::Suspect { node } => {
+                    self.suspect_since.entry(node).or_insert(ctx.now);
+                    if self.trace {
+                        ctx.fx.push(transport::Effect::Trace(
+                            telemetry::TraceEvent::instant(
+                                "gossip.suspect",
+                                "press",
+                                self.id.0 as u32,
+                                ctx.now,
+                            )
+                            .arg_u64("peer", node.0 as u64),
+                        ));
+                    }
+                }
+                gossip::Command::ClearSuspect { node } => {
+                    self.end_suspicion_span(ctx, node, "cleared");
+                }
+                gossip::Command::Confirm { node } => {
+                    self.end_suspicion_span(ctx, node, "confirmed");
+                    self.exclude(ctx, node);
+                }
+                gossip::Command::Refute { incarnation } => {
+                    if self.trace {
+                        ctx.fx.push(transport::Effect::Trace(
+                            telemetry::TraceEvent::instant(
+                                "gossip.refute",
+                                "press",
+                                self.id.0 as u32,
+                                ctx.now,
+                            )
+                            .arg_u64("incarnation", incarnation),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closes an open suspicion as a trace span covering its lifetime.
+    fn end_suspicion_span<S: Substrate<PressMsg> + ?Sized>(
+        &mut self,
+        ctx: &mut NodeCtx<'_, S>,
+        node: NodeId,
+        outcome: &'static str,
+    ) {
+        let Some(start) = self.suspect_since.remove(&node) else {
+            return;
+        };
+        if self.trace {
+            ctx.fx.push(transport::Effect::Trace(
+                telemetry::TraceEvent::span(
+                    "gossip.suspicion",
+                    "press",
+                    self.id.0 as u32,
+                    start,
+                    ctx.now.saturating_since(start),
+                )
+                .arg_u64("peer", node.0 as u64)
+                .arg_str("outcome", outcome),
+            ));
+        }
     }
 
     fn rejoin_tick<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>) {
@@ -733,6 +884,12 @@ impl PressNode {
             return;
         }
         self.stats.exclusions += 1;
+        // Tombstone the peer in the detector so stale gossip cannot
+        // resurrect it; the suspicion span (if any) is over.
+        if let Some(swim) = self.swim.as_mut() {
+            swim.remove(peer);
+        }
+        self.suspect_since.remove(&peer);
         if self.trace {
             ctx.fx.push(transport::Effect::Trace(
                 telemetry::TraceEvent::instant(
@@ -784,6 +941,11 @@ impl PressNode {
     fn admit_member<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, peer: NodeId) {
         self.members.insert(peer);
         self.last_hb.insert(peer, ctx.now);
+        // Re-arm the detector at a fresh incarnation so assertions from
+        // the peer's previous life cannot immediately re-kill it.
+        if let Some(swim) = self.swim.as_mut() {
+            swim.readmit(peer);
+        }
         if let Some(pred) = self.ring_predecessor() {
             self.last_hb.entry(pred).or_insert(ctx.now);
             let e = self.last_hb.get_mut(&pred).expect("just inserted");
@@ -920,6 +1082,7 @@ impl PressNode {
         let is_control = matches!(
             msg.body,
             MsgBody::Heartbeat { .. }
+                | MsgBody::Gossip(_)
                 | MsgBody::RejoinRequest
                 | MsgBody::RejoinInfo { .. }
                 | MsgBody::CacheInfo { .. }
@@ -935,6 +1098,23 @@ impl PressNode {
         match msg.body {
             MsgBody::Heartbeat { .. } => {
                 self.last_hb.insert(peer, ctx.now);
+            }
+            MsgBody::Gossip(g) => {
+                if !self.gossip_active() {
+                    return;
+                }
+                if !self.members.contains(&peer) {
+                    // An excluded (or not-yet-admitted) peer's gossip is
+                    // disregarded; re-entry goes through the rejoin
+                    // protocol, not the detector.
+                    self.stats.ignored_foreign += 1;
+                    return;
+                }
+                let mut cmds = Vec::new();
+                if let Some(swim) = self.swim.as_mut() {
+                    swim.on_message(peer, &g, &mut cmds);
+                }
+                self.apply_gossip_commands(ctx, cmds);
             }
             MsgBody::MemberDown { node } => {
                 if self.members.contains(&peer) && node != self.id {
@@ -1844,5 +2024,135 @@ mod tests {
         });
         assert_eq!(rig.node.stats().ignored_foreign, 1);
         assert!(rig.sub.sent.is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Epidemic membership (MembershipImpl::Gossip)
+    // ------------------------------------------------------------------
+
+    fn gossip_rig() -> Rig {
+        let mut rig = Rig::new(PressVersion::TcpHb);
+        let mut config = PressConfig::paper_testbed();
+        config.files = 100;
+        config.cache_bytes = 30 * u64::from(config.file_bytes);
+        config.membership = MembershipImpl::Gossip;
+        config.gossip.seed = 7;
+        rig.node = PressNode::new(NodeId(0), PressVersion::TcpHb, config);
+        rig
+    }
+
+    /// Runs one gossip tick at `t` seconds and returns the sim time used.
+    fn gossip_tick_at(rig: &mut Rig, t: u64) -> SimTime {
+        let now = SimTime::from_secs(t);
+        rig.with_at(now, |n, ctx| n.on_app_event(ctx, AppEvent::GossipTick));
+        now
+    }
+
+    #[test]
+    fn gossip_replaces_the_heartbeat_timer() {
+        let mut rig = gossip_rig();
+        rig.with(|n, ctx| n.start(ctx, true));
+        let evs = rig.scheduled();
+        assert!(evs.iter().any(|e| matches!(e, AppEvent::GossipTick)));
+        assert!(
+            !evs.iter().any(|e| matches!(e, AppEvent::HeartbeatTick)),
+            "gossip must supplant the ring timer: {evs:?}"
+        );
+    }
+
+    #[test]
+    fn silent_peers_are_suspected_then_excluded() {
+        let mut rig = gossip_rig();
+        rig.start_cold();
+        // Nobody ever answers a ping: every peer eventually runs through
+        // ping → ping-req → suspect → confirm and is excluded.
+        for t in 1..40 {
+            gossip_tick_at(&mut rig, t);
+        }
+        assert_eq!(rig.node.members().len(), 1, "all silent peers excluded");
+        assert_eq!(rig.node.stats().exclusions, 3);
+        // Each exclusion was propagated as a reconfiguration notice.
+        let downs = rig
+            .sub
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m.body, MsgBody::MemberDown { .. }))
+            .count();
+        assert!(downs >= 3, "MemberDown broadcasts expected, got {downs}");
+    }
+
+    #[test]
+    fn answering_peers_stay_members() {
+        let mut rig = gossip_rig();
+        rig.start_cold();
+        for t in 1..40 {
+            let now = gossip_tick_at(&mut rig, t);
+            // Ack every ping the node just sent.
+            let pings: Vec<(NodeId, u64)> = rig
+                .sub
+                .sent
+                .iter()
+                .filter_map(|(p, m)| match &m.body {
+                    MsgBody::Gossip(gossip::GossipMsg::Ping { seq, .. }) => Some((*p, *seq)),
+                    _ => None,
+                })
+                .collect();
+            rig.sub.sent.clear();
+            for (peer, seq) in pings {
+                rig.with_at(now, |n, ctx| {
+                    n.on_upcall(
+                        ctx,
+                        Upcall::Deliver {
+                            peer,
+                            msg: PressMsg {
+                                load: 0,
+                                body: MsgBody::Gossip(gossip::GossipMsg::Ack {
+                                    seq,
+                                    target: peer,
+                                    updates: std::sync::Arc::from(&[][..]),
+                                }),
+                            },
+                            class: transport::MsgClass::Heartbeat,
+                            bytes: 32,
+                        },
+                    )
+                });
+            }
+        }
+        assert_eq!(rig.node.members().len(), 4, "acked peers must stay");
+        assert_eq!(rig.node.stats().exclusions, 0);
+        let stats = rig.node.swim_stats().expect("gossip active");
+        assert!(stats.pings > 0 && stats.suspects == 0);
+    }
+
+    #[test]
+    fn gossip_from_excluded_peers_is_disregarded() {
+        let mut rig = gossip_rig();
+        rig.start_cold();
+        rig.with(|n, ctx| n.on_upcall(ctx, Upcall::ConnBroken {
+            peer: NodeId(1),
+            reason: transport::BreakReason::PeerReset,
+        }));
+        assert!(!rig.node.members().contains(&NodeId(1)));
+        rig.with(|n, ctx| {
+            n.on_upcall(
+                ctx,
+                Upcall::Deliver {
+                    peer: NodeId(1),
+                    msg: PressMsg {
+                        load: 0,
+                        body: MsgBody::Gossip(gossip::GossipMsg::Ping {
+                            seq: 1,
+                            updates: std::sync::Arc::from(&[][..]),
+                        }),
+                    },
+                    class: transport::MsgClass::Heartbeat,
+                    bytes: 32,
+                },
+            )
+        });
+        assert_eq!(rig.node.stats().ignored_foreign, 1);
+        // No ack went back: the detector never saw the message.
+        assert!(rig.sub.sent_to(1).is_empty());
     }
 }

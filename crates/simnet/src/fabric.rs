@@ -159,16 +159,24 @@ impl FabricConfig {
         SimDuration::from_nanos(nanos.max(1))
     }
 
-    /// Configuration matching the paper's 4-node cLAN test-bed.
-    pub fn clan_four_nodes() -> Self {
+    /// An `n`-node single-switch cLAN star with the paper test-bed's
+    /// per-hop parameters. PRESS arranges the nodes into its logical
+    /// heartbeat ring on top of this; the fabric itself is a star, so
+    /// latency and lookahead do not change with `n`.
+    pub fn ring(n: usize) -> Self {
         FabricConfig {
-            nodes: 4,
+            nodes: n,
             link_latency: SimDuration::from_micros(5),
             switch_latency: SimDuration::from_micros(1),
             bandwidth: 125_000_000, // 1 Gb/s
             max_tx_backlog: SimDuration::from_millis(20),
             max_rx_backlog: SimDuration::from_millis(20),
         }
+    }
+
+    /// Configuration matching the paper's 4-node cLAN test-bed.
+    pub fn clan_four_nodes() -> Self {
+        FabricConfig::ring(4)
     }
 }
 
@@ -636,6 +644,18 @@ mod tests {
             bytes,
             payload: (),
         }
+    }
+
+    #[test]
+    fn ring_parameterizes_node_count_only() {
+        for n in [4usize, 8, 16, 32] {
+            let cfg = FabricConfig::ring(n);
+            assert_eq!(cfg.nodes, n);
+            // The star fabric's timing does not change with n.
+            assert_eq!(cfg.lookahead(), FabricConfig::clan_four_nodes().lookahead());
+        }
+        let four = FabricConfig::clan_four_nodes();
+        assert_eq!(four.nodes, 4);
     }
 
     #[test]

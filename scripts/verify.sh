@@ -114,6 +114,36 @@ grep -q "tolerance 0.05: PASS" "$tmp_out" \
     || { echo "montecarlo gate: closed-form cross-check did not PASS" >&2; exit 1; }
 echo "   correlated + gray/fail-stop overlap present; cross-check PASS"
 
+echo "== repro membership --small vs golden"
+# The ring-vs-gossip detector sweep: rack-crash detection latency,
+# availability/throughput, gray-fault false exclusions, and rejoin
+# latency for both detectors over N in {4,8,16,32}. The golden pins
+# every row and the crossover sentence across --jobs and --sim-threads.
+cargo run --release -q -p bench --bin repro -- membership --small --jobs 0 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_membership_small.txt "$tmp_out"
+cargo run --release -q -p bench --bin repro -- membership --small --sim-threads 2 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_membership_small.txt "$tmp_out"
+echo "   membership identical at --jobs 0 and --sim-threads 2"
+
+echo "== membership sanity gates"
+# At the largest swept N the epidemic detector must beat the ring on
+# rack-crash detection latency (the whole point of the study), and the
+# gray fault must separate the detectors: the ring false-excludes,
+# gossip's indirect ping-req path keeps every live node in every view.
+ring32=$(awk '$1 == "32" && $2 == "ring"   { print $3 }' "$tmp_out")
+gossip32=$(awk '$1 == "32" && $2 == "gossip" { print $3 }' "$tmp_out")
+if [ -z "$ring32" ] || [ -z "$gossip32" ]; then
+    echo "membership gate: could not parse N=32 detection rows" >&2
+    exit 1
+fi
+awk -v r="$ring32" -v g="$gossip32" 'BEGIN { exit !(g+0 < r+0) }' \
+    || { echo "membership gate: gossip ($gossip32 s) not faster than ring ($ring32 s) at N=32" >&2; exit 1; }
+grep -Eq "^32  ring +[0-9.+]+ +[0-9.]+ +[0-9]+ +[1-9][0-9]*" "$tmp_out" \
+    || { echo "membership gate: ring shows no false exclusions under the gray fault" >&2; exit 1; }
+grep -Eq "^32  gossip +[0-9.+]+ +[0-9.]+ +[0-9]+ +0 " "$tmp_out" \
+    || { echo "membership gate: gossip false-exclusion count at N=32 is not zero" >&2; exit 1; }
+echo "   N=32 detection: ring ${ring32}s vs gossip ${gossip32}s; gray-fault split confirmed"
+
 echo "== repro table1 --metrics vs golden"
 cargo run --release -q -p bench --bin repro -- table1 --small --metrics --jobs 0 >"$tmp_out" 2>/dev/null
 diff -u scripts/golden_table1_metrics_small.txt "$tmp_out"
