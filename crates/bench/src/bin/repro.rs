@@ -9,9 +9,10 @@
 //! where `<target>` is one of `table1`, `table2`, `table3`, `fig2`,
 //! `fig3`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `offbyn`, `crossover`, `ablation-membership`, `ablation-heartbeat`,
-//! `membership`, `audit`, `montecarlo`, or `all`. `--small` runs on the
-//! shrunk test-bed (fast, for smoke-testing the harness; numbers will
-//! differ from the paper's scale).
+//! `membership`, `scale`, `scalebench`, `audit`, `montecarlo`, or
+//! `all`. `--small` runs on the shrunk test-bed (fast, for
+//! smoke-testing the harness; numbers will differ from the paper's
+//! scale).
 //!
 //! `membership` sweeps cluster sizes N ∈ {4, 8, 16, 32} with
 //! TCP-PRESS-HB under both failure detectors — the paper's heartbeat
@@ -21,6 +22,17 @@
 //! latency). With `--metrics` it also prints the sweep's gauges and the
 //! gossip runs' node-level metric snapshots. Like `montecarlo`, it goes
 //! beyond the paper's tables and is not part of `all`.
+//!
+//! `scale` sweeps cluster sizes N ∈ {4, 16, 64} ({4, 16} with
+//! `--small`) on a radix-8 fat-tree fabric, comparing the paper's
+//! eager cache-action broadcast against batched cache digests
+//! (`PressConfig::cache_sync`) under both detectors, and prints
+//! Tn/AT/AA/P plus cluster-wide control-frame counts per point. With
+//! `--metrics` it also prints the sweep's gauges and the digest runs'
+//! node-level metric snapshots. `scalebench` times the single heaviest
+//! point (the largest-N digest-mode TCP-PRESS-HB run) — the intended
+//! workload for `--sim-threads` benchmarking. Like `montecarlo`, both
+//! go beyond the paper's tables and are not part of `all`.
 //!
 //! `montecarlo` estimates performability empirically over generated
 //! fault timelines — correlated fault groups, gray faults, and
@@ -374,6 +386,17 @@ fn main() {
         return;
     }
 
+    // `scale [--metrics]`: the eager-vs-digest cluster-size sweep; with
+    // --metrics, the scale.* gauges and digest node snapshots too.
+    if target == "scale" {
+        if metrics {
+            println!("{}", experiments::scale_metrics(scale, seed, jobs));
+        } else {
+            println!("{}", experiments::scale::scale(scale, seed, jobs));
+        }
+        return;
+    }
+
     // Report mode: run the target once, print its text, and write the
     // HTML dashboard from the same runs (no re-simulation).
     if let Some(out) = &report_path {
@@ -495,6 +518,7 @@ fn main() {
         "ablation-heartbeat" => println!("{}", ablation_heartbeat(scale, seed, jobs)),
         "crossover" => println!("{}", crossover(profiles.expect("profiles built"))),
         "montecarlo" => println!("{}", montecarlo_results(scale, seed, jobs).0),
+        "scalebench" => println!("{}", experiments::scale::scalebench(scale, seed)),
         other => {
             eprintln!("unknown target {other}");
             std::process::exit(2);

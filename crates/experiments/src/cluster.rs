@@ -632,6 +632,16 @@ impl ClusterSim {
                 reg.counter_add("press.gossip.confirms", g.confirms);
                 reg.counter_add("press.gossip.updates_sent", g.updates_sent);
             }
+            // Cache-sync counters are gated the same way: Eager mode now
+            // counts its broadcast frames too, so exporting them
+            // unconditionally would perturb the pre-digest metrics
+            // goldens.
+            if self.config.press.cache_sync == press::CacheSyncImpl::Digest {
+                reg.counter_add("press.cache.sync_frames", s.cache_sync_frames);
+                reg.counter_add("press.cache.digest_flushes", s.digest_flushes);
+                reg.counter_add("press.cache.digest_deltas", s.digest_deltas);
+                reg.counter_add("press.cache.digest_retries", s.digest_retries);
+            }
         }
         reg.counter_add(
             "transport.timers_stale_suppressed",

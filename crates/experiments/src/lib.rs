@@ -12,6 +12,9 @@
 //! * [`membership`] — ring-vs-gossip detector study: detection-latency
 //!   scaling, gray-fault false exclusions, rejoin latency over
 //!   N ∈ {4, 8, 16, 32}.
+//! * [`scale`] — cluster-size scaling study over N ∈ {4, 16, 64}:
+//!   eager-broadcast vs batched-digest cache synchronization on a
+//!   fat-tree fabric, reporting Tn/AT/AA/P and control-frame cost.
 //! * [`figures`] — one entry point per table/figure of the paper.
 //! * [`render`] — plain-text rendering of timelines and bar charts.
 //! * [`runner`] — deterministic parallel execution of independent runs.
@@ -24,6 +27,7 @@ pub mod phase1;
 pub mod phase2;
 pub mod render;
 pub mod runner;
+pub mod scale;
 
 pub use cluster::{
     default_sim_threads, events_dispatched_total, set_default_sim_threads, ClusterConfig,
@@ -46,3 +50,4 @@ pub use phase2::{
     VersionProfile,
 };
 pub use runner::{effective_jobs, run_indexed};
+pub use scale::{scale_metrics, scale_study, ScalePoint};

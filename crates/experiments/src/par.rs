@@ -217,7 +217,7 @@ impl ShardState {
             work: VecDeque::new(),
             fx_pool: FxPool::default(),
             app_scratch: Vec::new(),
-            fabcfg: FabricConfig::ring(0),
+            fabcfg: FabricConfig::default(),
             restart_delay: SimDuration::ZERO,
             bound: SimTime::ZERO,
             lost: 0,

@@ -18,6 +18,24 @@ pub enum MembershipImpl {
     Gossip,
 }
 
+/// How cooperative-caching state propagates to the other members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheSyncImpl {
+    /// The paper's PRESS (§3): every caching action is immediately
+    /// broadcast to every member — O(N) frames per action, O(N²)
+    /// cluster-wide, and a frame that would block freezes the sender's
+    /// main thread (§5.4).
+    Eager,
+    /// Batched digests: caching deltas coalesce locally and flush as
+    /// one `CacheDigest` frame to `digest_fanout` peers (round-robin)
+    /// every `digest_interval` — at most `fanout / interval` control
+    /// frames per node per second regardless of the request rate or
+    /// cluster size. Directory staleness is bounded by
+    /// `ceil((N-1) / fanout) × interval`; a stale entry only costs a
+    /// disk fallback, never correctness.
+    Digest,
+}
+
 /// Static server parameters. [`PressConfig::paper_testbed`] reproduces
 /// the paper's setup (§5.1): 4 nodes, 128 MB file cache per node, two
 /// SCSI disks, normalized file sizes, 5 s heartbeats with a 15 s (3
@@ -69,6 +87,15 @@ pub struct PressConfig {
     pub membership: MembershipImpl,
     /// Parameters for [`MembershipImpl::Gossip`] (ignored under Ring).
     pub gossip: gossip::SwimConfig,
+    /// How caching actions reach the other members.
+    /// [`CacheSyncImpl::Eager`] is the paper's PRESS.
+    pub cache_sync: CacheSyncImpl,
+    /// Digest flush period ([`CacheSyncImpl::Digest`] only).
+    pub digest_interval: SimDuration,
+    /// Peers flushed per digest tick, round-robin over the member list
+    /// ([`CacheSyncImpl::Digest`] only; clamped to the live peer
+    /// count).
+    pub digest_fanout: usize,
     /// Enables the membership-repair extension the paper's §6.2 calls
     /// for ("a rigorous membership algorithm"): nodes periodically probe
     /// excluded peers and re-merge splintered sub-clusters without
@@ -100,6 +127,9 @@ impl PressConfig {
             rejoin_attempts: 3,
             membership: MembershipImpl::Ring,
             gossip: gossip::SwimConfig::default(),
+            cache_sync: CacheSyncImpl::Eager,
+            digest_interval: SimDuration::from_millis(500),
+            digest_fanout: 2,
             membership_repair: false,
             repair_probe_interval: SimDuration::from_secs(10),
         }

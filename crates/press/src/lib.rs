@@ -24,7 +24,7 @@ pub mod node;
 pub mod version;
 
 pub use cache::{Directory, LruCache};
-pub use config::{MembershipImpl, PressConfig};
+pub use config::{CacheSyncImpl, MembershipImpl, PressConfig};
 pub use msg::{MsgBody, PressMsg, Request};
 pub use node::{AppEffect, AppEvent, ClientAccept, NodeCtx, PressNode};
 pub use version::PressVersion;

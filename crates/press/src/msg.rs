@@ -62,6 +62,19 @@ pub enum MsgBody {
         /// The file no longer cached at the sender.
         file: FileId,
     },
+    /// Batched cache deltas (`CacheSyncImpl::Digest`): everything the
+    /// sender's cache gained and lost since the receiver's last digest,
+    /// coalesced to at most one entry per file — a file cached and
+    /// evicted between digests collapses to a single (idempotent)
+    /// evict.
+    CacheDigest {
+        /// Files now cached at the sender that the receiver hasn't
+        /// been told about.
+        adds: Arc<[FileId]>,
+        /// Files evicted at the sender since the receiver's last
+        /// digest.
+        evicts: Arc<[FileId]>,
+    },
     /// Heartbeat to the ring successor (TCP-PRESS-HB).
     Heartbeat {
         /// Monotonic per-sender sequence number.
@@ -113,6 +126,9 @@ impl PressMsg {
             MsgBody::Forward { .. } => 64,
             MsgBody::FileResp { .. } => file_bytes,
             MsgBody::CacheAdd { .. } | MsgBody::CacheEvict { .. } => 32,
+            MsgBody::CacheDigest { adds, evicts } => {
+                32 + 4 * (adds.len() + evicts.len()) as u32
+            }
             MsgBody::Heartbeat { .. } => 32,
             // Fixed header plus (node, incarnation, state) triples.
             MsgBody::Gossip(g) => 32 + 16 * g.updates().len() as u32,
@@ -132,7 +148,9 @@ impl PressMsg {
         match &self.body {
             MsgBody::Forward { .. } => MsgClass::Forward,
             MsgBody::FileResp { .. } => MsgClass::FileData,
-            MsgBody::CacheAdd { .. } | MsgBody::CacheEvict { .. } => MsgClass::CacheUpdate,
+            MsgBody::CacheAdd { .. }
+            | MsgBody::CacheEvict { .. }
+            | MsgBody::CacheDigest { .. } => MsgClass::CacheUpdate,
             MsgBody::Heartbeat { .. } | MsgBody::Gossip(_) => MsgClass::Heartbeat,
             MsgBody::MemberDown { .. }
             | MsgBody::RejoinRequest

@@ -30,7 +30,7 @@ use transport::{
 };
 
 use crate::cache::{Directory, LruCache};
-use crate::config::{MembershipImpl, PressConfig};
+use crate::config::{CacheSyncImpl, MembershipImpl, PressConfig};
 use crate::msg::{FileId, MsgBody, PressMsg, Request};
 use crate::version::PressVersion;
 
@@ -51,6 +51,8 @@ pub enum AppEvent {
     RejoinTick,
     /// Periodic membership-repair probe (extension, off by default).
     ProbeTick,
+    /// Periodic cache-digest flush ([`CacheSyncImpl::Digest`] only).
+    DigestTick,
 }
 
 /// What a finished disk read was for.
@@ -166,6 +168,19 @@ pub struct NodeStats {
     pub rejoined: u64,
     /// Sub-cluster merges completed by the membership-repair extension.
     pub merges: u64,
+    /// Cache-synchronization frames handed to the transport: one per
+    /// peer per caching action under [`CacheSyncImpl::Eager`], one per
+    /// non-empty digest flush under [`CacheSyncImpl::Digest`].
+    pub cache_sync_frames: u64,
+    /// Non-empty `CacheDigest` frames sent (digest mode only).
+    pub digest_flushes: u64,
+    /// Caching deltas recorded into the digest log (digest mode only);
+    /// `digest_deltas / digest_flushes` is the achieved batching.
+    pub digest_deltas: u64,
+    /// Digest flushes the transport refused (would-block, sync error,
+    /// or no connection); the peer's watermark is not advanced, so the
+    /// same deltas retry on its next round-robin turn.
+    pub digest_retries: u64,
 }
 
 #[derive(Debug)]
@@ -201,6 +216,16 @@ pub struct PressNode {
     suspect_since: BTreeMap<NodeId, SimTime>,
     cache: LruCache,
     directory: Directory,
+    /// Coalesced caching deltas awaiting digest flushes, keyed by file:
+    /// whether the file is now cached here, and the generation the
+    /// delta was recorded at ([`CacheSyncImpl::Digest`] only).
+    digest_log: BTreeMap<FileId, (bool, u64)>,
+    /// Monotonic generation stamped on each recorded delta.
+    digest_gen: u64,
+    /// Round-robin flush position over the sorted peer list.
+    digest_cursor: usize,
+    /// Highest generation each peer has been sent a digest through.
+    peer_digest_gen: BTreeMap<NodeId, u64>,
     load_map: Vec<u32>,
     open_requests: u32,
     pending_remote: BTreeMap<u64, (Request, NodeId)>,
@@ -232,6 +257,10 @@ impl PressNode {
             suspect_since: BTreeMap::new(),
             cache,
             directory,
+            digest_log: BTreeMap::new(),
+            digest_gen: 0,
+            digest_cursor: 0,
+            peer_digest_gen: BTreeMap::new(),
             load_map: vec![0; nodes],
             open_requests: 0,
             pending_remote: BTreeMap::new(),
@@ -296,6 +325,38 @@ impl PressNode {
         self.cache.files().collect()
     }
 
+    /// This node's view of who caches what (for experiments and the
+    /// eager-vs-digest equivalence tests).
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Files with recorded caching deltas not yet flushed to every
+    /// current peer ([`CacheSyncImpl::Digest`]; empty under eager).
+    pub fn digest_pending(&self) -> Vec<FileId> {
+        let floor = self.peer_digest_floor();
+        self.digest_log
+            .iter()
+            .filter(|(_, (_, gen))| *gen > floor)
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
+    /// Whether this node batches caching actions into digests.
+    fn digest_active(&self) -> bool {
+        self.config.cache_sync == CacheSyncImpl::Digest
+    }
+
+    /// The highest generation every current peer has already received.
+    fn peer_digest_floor(&self) -> u64 {
+        self.members
+            .iter()
+            .filter(|p| **p != self.id)
+            .map(|p| self.peer_digest_gen.get(p).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(self.digest_gen)
+    }
+
     /// Boots the process.
     ///
     /// `cold` start: the whole cluster is coming up together, so the
@@ -315,6 +376,10 @@ impl PressNode {
         self.deferred.clear();
         self.cache.clear();
         self.directory = Directory::new(self.config.files);
+        self.digest_log.clear();
+        self.digest_gen = 0;
+        self.digest_cursor = 0;
+        self.peer_digest_gen.clear();
         self.disks = vec![ctx.now; self.config.disks_per_node];
         self.last_hb.clear();
         if cold {
@@ -359,6 +424,12 @@ impl PressNode {
             ctx.app.push(AppEffect::Schedule {
                 at: ctx.now + self.config.repair_probe_interval,
                 ev: AppEvent::ProbeTick,
+            });
+        }
+        if self.digest_active() {
+            ctx.app.push(AppEffect::Schedule {
+                at: ctx.now + self.config.digest_interval,
+                ev: AppEvent::DigestTick,
             });
         }
     }
@@ -422,12 +493,12 @@ impl PressNode {
 
     /// Best-effort control send: never blocks the node (a full queue
     /// just delays/drops the control message — heartbeats may be late).
-    fn send_control<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, peer: NodeId, body: MsgBody) {
+    fn send_control<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, peer: NodeId, body: MsgBody) -> SendStatus {
         let msg = self.make_msg(body);
         let class = msg.class();
         let bytes = msg.wire_bytes(self.config.file_bytes);
         let params = ctx.interposer.mangle(ctx.now, class, CallParams::default());
-        let _ = ctx.sub.send(ctx.now, peer, class, msg, bytes, params, ctx.fx);
+        ctx.sub.send(ctx.now, peer, class, msg, bytes, params, ctx.fx)
     }
 
     /// Broadcasts `body` to all other members, freezing on WouldBlock.
@@ -558,8 +629,34 @@ impl PressNode {
         done
     }
 
+    /// Announces one caching action to the other members. Eager mode
+    /// broadcasts immediately — O(members) frames, freezing the node on
+    /// WouldBlock (§5.4). Digest mode records the delta for the next
+    /// flush and never blocks; a file cached and evicted between
+    /// flushes coalesces to a single (idempotent) evict.
+    fn cache_sync_action<S: Substrate<PressMsg> + ?Sized>(
+        &mut self,
+        ctx: &mut NodeCtx<'_, S>,
+        file: FileId,
+        cached: bool,
+    ) {
+        if self.digest_active() {
+            self.digest_gen += 1;
+            self.digest_log.insert(file, (cached, self.digest_gen));
+            self.stats.digest_deltas += 1;
+            return;
+        }
+        self.stats.cache_sync_frames += self.members.len().saturating_sub(1) as u64;
+        let body = if cached {
+            MsgBody::CacheAdd { file }
+        } else {
+            MsgBody::CacheEvict { file }
+        };
+        self.broadcast(ctx, body);
+    }
+
     /// Inserts `file` into the cache (pinning it for zero-copy versions)
-    /// and broadcasts the caching actions. Under pinnable-memory
+    /// and announces the caching actions. Under pinnable-memory
     /// exhaustion VIA-PRESS-5 sheds cache entries to free pinned pages,
     /// and serves without caching if that is not enough (§5.4).
     fn cache_insert<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, file: FileId) {
@@ -577,7 +674,7 @@ impl PressNode {
                     };
                     ctx.sub.deregister_pages(ctx.now, pages, ctx.fx);
                     self.directory.remove(victim, self.id);
-                    self.broadcast(ctx, MsgBody::CacheEvict { file: victim });
+                    self.cache_sync_action(ctx, victim, false);
                     if self.is_blocked() {
                         break;
                     }
@@ -599,12 +696,89 @@ impl PressNode {
                 ctx.sub.deregister_pages(ctx.now, pages, ctx.fx);
             }
             self.directory.remove(victim, self.id);
-            self.broadcast(ctx, MsgBody::CacheEvict { file: victim });
+            self.cache_sync_action(ctx, victim, false);
             if self.is_blocked() {
                 return;
             }
         }
-        self.broadcast(ctx, MsgBody::CacheAdd { file });
+        self.cache_sync_action(ctx, file, true);
+    }
+
+    /// One digest period: flush pending deltas to the next
+    /// `digest_fanout` peers round-robin, garbage-collect deltas every
+    /// current peer has seen, and re-arm. Digests ride the best-effort
+    /// control path, so a flush never freezes the node; a refused send
+    /// keeps the peer's watermark in place and retries next turn.
+    /// Until a delta lands, the receiver's directory is merely stale —
+    /// stale entries only cost disk fallbacks, never correctness, and
+    /// the rejoin / merge `CacheInfo` summaries resync in full.
+    fn digest_tick<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>) {
+        if !self.digest_active() {
+            return;
+        }
+        let peers: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|p| *p != self.id)
+            .collect();
+        if !peers.is_empty() && !self.digest_log.is_empty() {
+            let fanout = self.config.digest_fanout.clamp(1, peers.len());
+            for _ in 0..fanout {
+                self.digest_cursor %= peers.len();
+                let peer = peers[self.digest_cursor];
+                self.digest_cursor += 1;
+                self.flush_digest_to(ctx, peer);
+            }
+            let floor = self.peer_digest_floor();
+            self.digest_log.retain(|_, (_, gen)| *gen > floor);
+        }
+        ctx.app.push(AppEffect::Schedule {
+            at: ctx.now + self.config.digest_interval,
+            ev: AppEvent::DigestTick,
+        });
+    }
+
+    /// Sends `peer` every delta it has not seen yet as one
+    /// `CacheDigest` frame (nothing if it is already caught up).
+    fn flush_digest_to<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, peer: NodeId) {
+        let seen = self.peer_digest_gen.get(&peer).copied().unwrap_or(0);
+        let mut adds: Vec<FileId> = Vec::new();
+        let mut evicts: Vec<FileId> = Vec::new();
+        for (&file, &(cached, gen)) in &self.digest_log {
+            if gen > seen {
+                if cached {
+                    adds.push(file);
+                } else {
+                    evicts.push(file);
+                }
+            }
+        }
+        if adds.is_empty() && evicts.is_empty() {
+            // Nothing newer than the watermark; advancing it is free.
+            self.peer_digest_gen.insert(peer, self.digest_gen);
+            return;
+        }
+        let gen_at_send = self.digest_gen;
+        let status = self.send_control(
+            ctx,
+            peer,
+            MsgBody::CacheDigest {
+                adds: adds.into(),
+                evicts: evicts.into(),
+            },
+        );
+        // The watermark advances only when the transport took the
+        // frame: a refused digest retries in full on this peer's next
+        // round-robin turn, so transient congestion or an unreachable
+        // peer can delay convergence but never silently lose deltas.
+        if status == SendStatus::Accepted {
+            self.peer_digest_gen.insert(peer, gen_at_send);
+            self.stats.cache_sync_frames += 1;
+            self.stats.digest_flushes += 1;
+        } else {
+            self.stats.digest_retries += 1;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -618,6 +792,9 @@ impl PressNode {
             AppEvent::GossipTick => self.gossip_tick(ctx),
             AppEvent::RejoinTick => self.rejoin_tick(ctx),
             AppEvent::ProbeTick => self.probe_tick(ctx),
+            // Flushes ride the non-blocking control path, so the tick
+            // runs even while the data path is frozen on a send.
+            AppEvent::DigestTick => self.digest_tick(ctx),
             AppEvent::PendingTimeout(req_id) => {
                 if self.pending_remote.remove(&req_id).is_some() {
                     self.stats.forward_timeouts += 1;
@@ -1078,7 +1255,12 @@ impl PressNode {
             self.load_map[peer.0] = msg.load;
         }
         // Control-plane traffic is handled even while the data path is
-        // frozen; data-plane traffic is deferred.
+        // frozen; data-plane traffic is deferred. `CacheDigest` counts
+        // as control: applying one only mutates the directory (no
+        // sends, no CPU charge), and deferring it would let a frozen,
+        // overloaded node drop digests its peers believe delivered.
+        // The eager per-action broadcasts stay deferrable — that is
+        // the paper's §5.4 behaviour.
         let is_control = matches!(
             msg.body,
             MsgBody::Heartbeat { .. }
@@ -1086,6 +1268,7 @@ impl PressNode {
                 | MsgBody::RejoinRequest
                 | MsgBody::RejoinInfo { .. }
                 | MsgBody::CacheInfo { .. }
+                | MsgBody::CacheDigest { .. }
                 | MsgBody::MemberDown { .. }
                 | MsgBody::MergeRequest
                 | MsgBody::MergeAccept { .. }
@@ -1290,6 +1473,16 @@ impl PressNode {
             MsgBody::CacheEvict { file } => {
                 if self.members.contains(&peer) {
                     self.directory.remove(file, peer);
+                }
+            }
+            MsgBody::CacheDigest { adds, evicts } => {
+                if self.members.contains(&peer) {
+                    for f in adds.iter().copied() {
+                        self.directory.add(f, peer);
+                    }
+                    for f in evicts.iter().copied() {
+                        self.directory.remove(f, peer);
+                    }
                 }
             }
         }
@@ -2154,5 +2347,137 @@ mod tests {
         assert_eq!(rig.node.stats().ignored_foreign, 1);
         // No ack went back: the detector never saw the message.
         assert!(rig.sub.sent_to(1).is_empty());
+    }
+
+    fn digest_rig(fanout: usize) -> Rig {
+        let mut rig = Rig::new(PressVersion::Tcp);
+        let mut config = PressConfig::paper_testbed();
+        config.files = 100;
+        config.cache_bytes = 30 * u64::from(config.file_bytes);
+        config.cache_sync = CacheSyncImpl::Digest;
+        config.digest_fanout = fanout;
+        rig.node = PressNode::new(NodeId(0), PressVersion::Tcp, config);
+        rig
+    }
+
+    /// Disk-serves `file` at node 0 so it enters the cache.
+    fn disk_serve(rig: &mut Rig, id: u64, file: FileId) {
+        rig.with(|n, ctx| n.on_app_event(ctx, AppEvent::DiskDone(DiskJob::Local(req(id, file)))));
+    }
+
+    #[test]
+    fn digest_mode_defers_caching_broadcasts_to_the_tick() {
+        let mut rig = digest_rig(2);
+        rig.start_cold();
+        assert!(
+            rig.scheduled().is_empty(),
+            "start_cold clears the app queue"
+        );
+        disk_serve(&mut rig, 1, 42);
+        assert!(
+            rig.sub.sent.is_empty(),
+            "digest mode must not broadcast per caching action"
+        );
+        assert_eq!(rig.node.stats().cache_sync_frames, 0);
+        assert_eq!(rig.node.stats().digest_deltas, 1);
+        assert_eq!(rig.node.digest_pending(), vec![42]);
+    }
+
+    #[test]
+    fn digest_tick_flushes_round_robin_until_all_peers_caught_up() {
+        let mut rig = digest_rig(2);
+        rig.start_cold();
+        disk_serve(&mut rig, 1, 42);
+        // First tick: the first two peers (round-robin from n1).
+        rig.with(|n, ctx| n.on_app_event(ctx, AppEvent::DigestTick));
+        let digest_to = |rig: &Rig, peer: usize| {
+            rig.sub
+                .sent_to(peer)
+                .iter()
+                .any(|b| matches!(b, MsgBody::CacheDigest { adds, .. } if adds.as_ref() == [42]))
+        };
+        assert!(digest_to(&rig, 1) && digest_to(&rig, 2));
+        assert!(!digest_to(&rig, 3), "fanout 2 reaches two peers per tick");
+        assert_eq!(rig.node.stats().digest_flushes, 2);
+        assert_eq!(rig.node.digest_pending(), vec![42], "n3 still behind");
+        // Second tick: n3's turn; afterwards the log is drained.
+        rig.with(|n, ctx| n.on_app_event(ctx, AppEvent::DigestTick));
+        assert!(digest_to(&rig, 3));
+        assert!(rig.node.digest_pending().is_empty());
+        rig.sub.sent.clear();
+        rig.with(|n, ctx| n.on_app_event(ctx, AppEvent::DigestTick));
+        assert!(rig.sub.sent.is_empty(), "nothing new to flush");
+        assert_eq!(rig.node.stats().digest_flushes, 3);
+        assert_eq!(rig.node.stats().cache_sync_frames, 3);
+    }
+
+    #[test]
+    fn digest_coalesces_add_then_evict_into_one_entry() {
+        let mut rig = digest_rig(4);
+        rig.start_cold();
+        // Fill the 30-entry cache, then one more: file 0 is evicted.
+        for f in 0..31 {
+            disk_serve(&mut rig, u64::from(f), f);
+        }
+        rig.with(|n, ctx| n.on_app_event(ctx, AppEvent::DigestTick));
+        let to1 = rig.sub.sent_to(1);
+        let Some(MsgBody::CacheDigest { adds, evicts }) = to1.first() else {
+            panic!("expected a digest, got {to1:?}");
+        };
+        // File 0 was added then evicted between flushes: one evict
+        // entry, not an add + evict pair.
+        assert!(!adds.contains(&0) && evicts.as_ref() == [0]);
+        assert_eq!(adds.len(), 30);
+        assert_eq!(
+            rig.node.stats().digest_deltas,
+            32,
+            "31 adds + 1 evict recorded"
+        );
+    }
+
+    #[test]
+    fn cache_digest_applies_to_the_directory_members_only() {
+        let mut rig = Rig::new(PressVersion::Tcp);
+        rig.start_cold();
+        let deliver = |rig: &mut Rig, peer: usize| {
+            rig.with(|n, ctx| {
+                n.on_upcall(
+                    ctx,
+                    Upcall::Deliver {
+                        peer: NodeId(peer),
+                        msg: PressMsg {
+                            load: 0,
+                            body: MsgBody::CacheDigest {
+                                adds: std::sync::Arc::from([7, 8].as_slice()),
+                                evicts: std::sync::Arc::from([9].as_slice()),
+                            },
+                        },
+                        class: transport::MsgClass::CacheUpdate,
+                        bytes: 44,
+                    },
+                )
+            });
+        };
+        rig.node.directory.add(9, NodeId(1));
+        deliver(&mut rig, 1);
+        assert_eq!(rig.node.directory().holders(7), &[NodeId(1)]);
+        assert_eq!(rig.node.directory().holders(8), &[NodeId(1)]);
+        assert!(rig.node.directory().holders(9).is_empty());
+        // A digest from a non-member is ignored.
+        rig.with(|n, ctx| n.exclude(ctx, NodeId(2)));
+        deliver(&mut rig, 2);
+        assert!(rig.node.directory().holders(7).contains(&NodeId(1)));
+        assert!(!rig.node.directory().holders(7).contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn eager_mode_counts_cache_sync_frames_per_peer() {
+        let mut rig = Rig::new(PressVersion::Tcp);
+        rig.start_cold();
+        disk_serve(&mut rig, 1, 42);
+        // One CacheAdd to each of the three peers.
+        assert_eq!(rig.node.stats().cache_sync_frames, 3);
+        assert_eq!(rig.node.stats().digest_deltas, 0);
+        assert!(rig.node.digest_pending().is_empty());
     }
 }

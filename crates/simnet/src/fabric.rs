@@ -116,6 +116,30 @@ impl TransmitOutcome {
     }
 }
 
+/// Physical switch arrangement of the fabric.
+///
+/// [`Topology::Star`] is the paper's single-switch cLAN: every pair of
+/// nodes is two link hops and one switch apart. [`Topology::FatTree`]
+/// is a two-level leaf/spine fabric for clusters that outgrow one
+/// switch: node `i` attaches to leaf switch `i / leaf_radix`; same-leaf
+/// traffic crosses only its leaf, while cross-leaf traffic additionally
+/// climbs to a spine switch and back down (two extra link hops, one
+/// extra leaf, and the spine's forwarding latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// One switch; uniform pairwise latency.
+    Star,
+    /// Two-level leaf/spine fat tree.
+    FatTree {
+        /// Nodes per leaf switch (node `i` sits under leaf
+        /// `i / leaf_radix`).
+        leaf_radix: usize,
+        /// Spine-switch forwarding latency, paid once per cross-leaf
+        /// path (leaf switches use the common `switch_latency`).
+        spine_latency: SimDuration,
+    },
+}
+
 /// Static fabric parameters.
 ///
 /// Defaults approximate the paper's 1 Gb/s cLAN: ~5 µs per link hop plus
@@ -127,7 +151,8 @@ pub struct FabricConfig {
     pub nodes: usize,
     /// One-way propagation + NIC processing latency per link hop.
     pub link_latency: SimDuration,
-    /// Switch forwarding latency.
+    /// Switch forwarding latency (every switch a frame crosses except
+    /// the fat tree's spine, which has its own).
     pub switch_latency: SimDuration,
     /// Per-endpoint bandwidth in bytes per second.
     pub bandwidth: u64,
@@ -135,21 +160,69 @@ pub struct FabricConfig {
     pub max_tx_backlog: SimDuration,
     /// Maximum receiver-side backlog (time depth) before frames drop.
     pub max_rx_backlog: SimDuration,
+    /// Switch arrangement. The up/down fault flags are fabric-wide
+    /// regardless of topology: `switch_up = false` kills forwarding
+    /// everywhere (modelled as the common spine failing closed).
+    pub topology: Topology,
 }
 
 impl FabricConfig {
     /// The minimum time between handing a frame to the fabric and its
-    /// arrival at the destination switch port: two link hops plus the
-    /// switch, with serialization contributing at least one more
-    /// nanosecond. This is the conservative-parallel lookahead — no
-    /// event executed at time `t` can make another node observe
-    /// anything before `t + lookahead()`, so windows of this width can
-    /// run concurrently without violating causality. A degenerate
-    /// configuration (zero link and switch latency) yields
+    /// arrival at the destination switch port, over all node pairs —
+    /// the shortest path through the topology, with serialization
+    /// contributing at least one more nanosecond. This is the
+    /// conservative-parallel lookahead: no event executed at time `t`
+    /// can make another node observe anything before `t + lookahead()`,
+    /// so windows of this width can run concurrently without violating
+    /// causality. Longer paths (cross-leaf hops, gray-latency
+    /// penalties) only *increase* delay, so the floor stays valid. A
+    /// degenerate configuration (zero link and switch latency) yields
     /// `SimDuration::ZERO` and callers must fall back to sequential
     /// execution.
     pub fn lookahead(&self) -> SimDuration {
-        self.link_latency + self.switch_latency + self.link_latency
+        let same_switch = self.link_latency + self.switch_latency + self.link_latency;
+        match self.topology {
+            Topology::Star => same_switch,
+            Topology::FatTree { leaf_radix, .. } => {
+                // Some pair shares a leaf as soon as one leaf holds two
+                // nodes; otherwise (radix-1 corner, buildable only by
+                // hand) every path crosses the spine.
+                if leaf_radix >= 2 && self.nodes >= 2 {
+                    same_switch
+                } else {
+                    same_switch + self.cross_leaf_extra()
+                }
+            }
+        }
+    }
+
+    /// Additional one-way latency of a cross-leaf path over a same-leaf
+    /// one: up to the spine and back down (two extra link hops), the
+    /// spine's forwarding latency, and the second leaf switch.
+    fn cross_leaf_extra(&self) -> SimDuration {
+        match self.topology {
+            Topology::Star => SimDuration::ZERO,
+            Topology::FatTree { spine_latency, .. } => {
+                self.link_latency + self.link_latency + spine_latency + self.switch_latency
+            }
+        }
+    }
+
+    /// One-way propagation latency from `src`'s NIC to `dst`'s switch
+    /// port through this topology (excludes serialization and gray
+    /// penalties). Equals `lookahead()` for the closest pair.
+    pub fn path_latency(&self, src: NodeId, dst: NodeId) -> SimDuration {
+        let same_switch = self.link_latency + self.switch_latency + self.link_latency;
+        match self.topology {
+            Topology::Star => same_switch,
+            Topology::FatTree { leaf_radix, .. } => {
+                if src.0 / leaf_radix == dst.0 / leaf_radix {
+                    same_switch
+                } else {
+                    same_switch + self.cross_leaf_extra()
+                }
+            }
+        }
     }
 
     /// Serialization time of `bytes` at this fabric's bandwidth (at
@@ -163,15 +236,69 @@ impl FabricConfig {
     /// per-hop parameters. PRESS arranges the nodes into its logical
     /// heartbeat ring on top of this; the fabric itself is a star, so
     /// latency and lookahead do not change with `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (a one-node cluster has no fabric paths, and
+    /// the conservative-parallel lookahead would be meaningless).
     pub fn ring(n: usize) -> Self {
-        FabricConfig {
+        let cfg = FabricConfig {
             nodes: n,
             link_latency: SimDuration::from_micros(5),
             switch_latency: SimDuration::from_micros(1),
             bandwidth: 125_000_000, // 1 Gb/s
             max_tx_backlog: SimDuration::from_millis(20),
             max_rx_backlog: SimDuration::from_millis(20),
+            topology: Topology::Star,
+        };
+        cfg.validated()
+    }
+
+    /// An `n`-node two-level leaf/spine fat tree: `leaf_radix` nodes
+    /// per leaf switch, cLAN per-hop parameters, and a 2 µs spine.
+    /// Same-leaf pairs see star latency; cross-leaf pairs pay
+    /// [`Self::path_latency`]'s climb through the spine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `leaf_radix < 2` (a radix-1 "leaf" is a
+    /// patch cable, and `lookahead()` relies on at least one same-leaf
+    /// pair existing).
+    pub fn fat_tree(n: usize, leaf_radix: usize) -> Self {
+        assert!(
+            leaf_radix >= 2,
+            "fat tree needs at least 2 nodes per leaf switch (got {leaf_radix})"
+        );
+        let cfg = FabricConfig {
+            topology: Topology::FatTree {
+                leaf_radix,
+                spine_latency: SimDuration::from_micros(2),
+            },
+            ..FabricConfig::ring(2)
+        };
+        FabricConfig { nodes: n, ..cfg }.validated()
+    }
+
+    /// Builder validation: every constructed fabric must have at least
+    /// two nodes and strictly positive per-stage latencies, so
+    /// `lookahead()` is a usable (nonzero) conservative-parallel bound.
+    fn validated(self) -> Self {
+        assert!(
+            self.nodes >= 2,
+            "a fabric needs at least 2 nodes (got {})",
+            self.nodes
+        );
+        assert!(
+            self.link_latency > SimDuration::ZERO && self.switch_latency > SimDuration::ZERO,
+            "zero-latency fabric stages would collapse the lookahead to zero"
+        );
+        if let Topology::FatTree { spine_latency, .. } = self.topology {
+            assert!(
+                spine_latency > SimDuration::ZERO,
+                "zero-latency spine stage in a fat-tree fabric"
+            );
         }
+        self
     }
 
     /// Configuration matching the paper's 4-node cLAN test-bed.
@@ -566,12 +693,12 @@ fn tx_phase_inner(
     flags: FlagView<'_>,
     port: &mut TxPort,
     now: SimTime,
-    src: NodeId,
-    dst: NodeId,
+    src_id: NodeId,
+    dst_id: NodeId,
     bytes: u32,
 ) -> TxOutcome {
-    let src = src.0;
-    let dst = dst.0;
+    let src = src_id.0;
+    let dst = dst_id.0;
     let reason = if !flags.node_up[src] {
         Some(LossReason::SrcNodeDown)
     } else if !flags.link_up[src] {
@@ -622,13 +749,13 @@ fn tx_phase_inner(
     let tx_end = tx_start + wire;
     port.busy = tx_end;
 
-    // Propagation through the switch, plus the gray penalty per
-    // degraded endpoint crossed. Extra latency only ever increases, so
-    // the lookahead floor on cross-node visibility stays valid.
-    let at_switch = tx_end + config.link_latency + config.switch_latency;
+    // Propagation along the topology's path for this pair, plus the
+    // gray penalty per degraded endpoint crossed. Extra latency only
+    // ever increases, so the lookahead floor on cross-node visibility
+    // stays valid.
     TxOutcome::Launched {
-        at_dst_port: at_switch
-            + config.link_latency
+        at_dst_port: tx_end
+            + config.path_latency(src_id, dst_id)
             + GRAY_EXTRA_LATENCY * gray_endpoints as u64,
     }
 }
@@ -656,6 +783,132 @@ mod tests {
         }
         let four = FabricConfig::clan_four_nodes();
         assert_eq!(four.nodes, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn ring_rejects_single_node() {
+        let _ = FabricConfig::ring(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn fat_tree_rejects_single_node() {
+        let _ = FabricConfig::fat_tree(1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 nodes per leaf")]
+    fn fat_tree_rejects_radix_one() {
+        let _ = FabricConfig::fat_tree(8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-latency")]
+    fn builders_reject_zero_latency_stages() {
+        let _ = FabricConfig {
+            switch_latency: SimDuration::ZERO,
+            ..FabricConfig::ring(4)
+        }
+        .validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-latency spine")]
+    fn fat_tree_rejects_zero_latency_spine() {
+        let _ = FabricConfig {
+            topology: Topology::FatTree {
+                leaf_radix: 4,
+                spine_latency: SimDuration::ZERO,
+            },
+            ..FabricConfig::ring(8)
+        }
+        .validated();
+    }
+
+    /// `lookahead()` must equal the true minimum one-way propagation
+    /// over all node pairs for every builder — it is the causality
+    /// floor of the conservative-parallel engine, so an overestimate
+    /// would silently corrupt `--sim-threads` runs.
+    #[test]
+    fn lookahead_is_the_minimum_cross_node_path_for_every_builder() {
+        let builders: Vec<FabricConfig> = vec![
+            FabricConfig::ring(2),
+            FabricConfig::ring(4),
+            FabricConfig::ring(33),
+            FabricConfig::fat_tree(4, 8),   // one (underfull) leaf
+            FabricConfig::fat_tree(16, 8),  // two leaves
+            FabricConfig::fat_tree(64, 8),  // eight leaves
+            FabricConfig::fat_tree(9, 2),   // ragged last leaf
+        ];
+        for cfg in builders {
+            let min_path = (0..cfg.nodes)
+                .flat_map(|a| (0..cfg.nodes).map(move |b| (a, b)))
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| cfg.path_latency(NodeId(a), NodeId(b)))
+                .min()
+                .expect("builders guarantee >= 2 nodes");
+            assert_eq!(
+                cfg.lookahead(),
+                min_path,
+                "lookahead mismatch for {:?} n={}",
+                cfg.topology,
+                cfg.nodes
+            );
+        }
+    }
+
+    #[test]
+    fn fat_tree_cross_leaf_paths_pay_the_spine() {
+        let cfg = FabricConfig::fat_tree(16, 8);
+        let same_leaf = cfg.path_latency(NodeId(0), NodeId(7));
+        let cross_leaf = cfg.path_latency(NodeId(0), NodeId(8));
+        // Same-leaf = star latency; cross-leaf adds two link hops, the
+        // second leaf switch, and the spine.
+        assert_eq!(same_leaf, FabricConfig::ring(16).lookahead());
+        assert_eq!(
+            cross_leaf,
+            same_leaf
+                + cfg.link_latency
+                + cfg.link_latency
+                + cfg.switch_latency
+                + SimDuration::from_micros(2)
+        );
+        assert_eq!(cfg.lookahead(), same_leaf);
+    }
+
+    #[test]
+    fn fat_tree_transmit_times_follow_the_topology() {
+        let mut f = Fabric::new(FabricConfig::fat_tree(16, 8));
+        // 1000B at 125MB/s = 8us serialization at each endpoint.
+        let same = f
+            .transmit(SimTime::ZERO, &frame(0, 1, 1000))
+            .delivery_time()
+            .expect("delivered");
+        assert_eq!(same.as_nanos(), 8_000 + 5_000 + 1_000 + 5_000 + 8_000);
+        let mut f = Fabric::new(FabricConfig::fat_tree(16, 8));
+        let cross = f
+            .transmit(SimTime::ZERO, &frame(0, 8, 1000))
+            .delivery_time()
+            .expect("delivered");
+        // Four link hops, two leaf switches, the 2us spine.
+        assert_eq!(
+            cross.as_nanos(),
+            8_000 + 4 * 5_000 + 2 * 1_000 + 2_000 + 8_000
+        );
+    }
+
+    #[test]
+    fn fat_tree_switch_down_kills_cross_and_same_leaf_forwarding() {
+        let mut f = Fabric::new(FabricConfig::fat_tree(16, 8));
+        f.set_switch_up(false);
+        for dst in [1usize, 8] {
+            let TransmitOutcome::Lost { reason } = f.transmit(SimTime::ZERO, &frame(0, dst, 100))
+            else {
+                panic!("switch down must lose the frame to n{dst}");
+            };
+            assert_eq!(reason, LossReason::SwitchDown);
+        }
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod time;
 
 pub use cpu::CpuMeter;
 pub use engine::{CancelToken, Engine};
-pub use fabric::{Fabric, FabricConfig, FabricFlags, Frame, NodeId, TransmitOutcome, TxOutcome, TxPort};
+pub use fabric::{
+    Fabric, FabricConfig, FabricFlags, Frame, NodeId, Topology, TransmitOutcome, TxOutcome, TxPort,
+};
 pub use rng::SimRng;
 pub use stats::{AvailabilityCounter, LatencyHistogram, ThroughputRecorder, TimeSeries};
 pub use time::{SimDuration, SimTime};

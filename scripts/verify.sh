@@ -144,6 +144,41 @@ grep -Eq "^32  gossip +[0-9.+]+ +[0-9.]+ +[0-9]+ +0 " "$tmp_out" \
     || { echo "membership gate: gossip false-exclusion count at N=32 is not zero" >&2; exit 1; }
 echo "   N=32 detection: ring ${ring32}s vs gossip ${gossip32}s; gray-fault split confirmed"
 
+echo "== repro scale --small vs golden"
+# The cache-sync scaling sweep: eager-broadcast vs batched-digest over
+# N in {4,16} on a radix-8 fat-tree fabric, cold-start node-crash
+# scenario. The golden pins every row across --jobs and --sim-threads.
+cargo run --release -q -p bench --bin repro -- scale --small --jobs 0 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_scale_small.txt "$tmp_out"
+cargo run --release -q -p bench --bin repro -- scale --small --sim-threads 2 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_scale_small.txt "$tmp_out"
+echo "   scale identical at --jobs 0 and --sim-threads 2"
+
+echo "== scale sanity gates"
+# The tentpole claim, asserted on the TCP-PRESS-HB ring rows: eager
+# broadcast costs (N-1) control frames per caching action, so its
+# ctrl/req must grow with N (>= 2.5x from N=4 to N=16; the exact 4x is
+# blunted by crash-eviction churn in the small N=4 baseline), while
+# digest mode's fanout-bounded flushes must stay flat (<= 2x) and cost
+# less than half of eager's total frames at N=16.
+e4=$(awk  '$1 == "4"  && $2 == "TCP-PRESS-HB" && $3 == "eager"  && $4 == "ring" { print $10 }' "$tmp_out")
+e16=$(awk '$1 == "16" && $2 == "TCP-PRESS-HB" && $3 == "eager"  && $4 == "ring" { print $10 }' "$tmp_out")
+d4=$(awk  '$1 == "4"  && $2 == "TCP-PRESS-HB" && $3 == "digest" && $4 == "ring" { print $10 }' "$tmp_out")
+d16=$(awk '$1 == "16" && $2 == "TCP-PRESS-HB" && $3 == "digest" && $4 == "ring" { print $10 }' "$tmp_out")
+ef16=$(awk '$1 == "16" && $2 == "TCP-PRESS-HB" && $3 == "eager"  && $4 == "ring" { print $9 }' "$tmp_out")
+df16=$(awk '$1 == "16" && $2 == "TCP-PRESS-HB" && $3 == "digest" && $4 == "ring" { print $9 }' "$tmp_out")
+if [ -z "$e4" ] || [ -z "$e16" ] || [ -z "$d4" ] || [ -z "$d16" ]; then
+    echo "scale gate: could not parse ctrl/req columns" >&2
+    exit 1
+fi
+awk -v a="$e16" -v b="$e4" 'BEGIN { exit !(a+0 >= 2.5 * (b+0)) }' \
+    || { echo "scale gate: eager ctrl/req not growing with N ($e4 -> $e16)" >&2; exit 1; }
+awk -v a="$d16" -v b="$d4" 'BEGIN { exit !(a+0 <= 2.0 * (b+0)) }' \
+    || { echo "scale gate: digest ctrl/req not flat in N ($d4 -> $d16)" >&2; exit 1; }
+awk -v d="$df16" -v e="$ef16" 'BEGIN { exit !(2 * (d+0) < e+0) }' \
+    || { echo "scale gate: digest frames at N=16 ($df16) not under half of eager ($ef16)" >&2; exit 1; }
+echo "   eager ctrl/req $e4 -> $e16 (linear), digest $d4 -> $d16 (flat); frames $df16 vs $ef16"
+
 echo "== repro table1 --metrics vs golden"
 cargo run --release -q -p bench --bin repro -- table1 --small --metrics --jobs 0 >"$tmp_out" 2>/dev/null
 diff -u scripts/golden_table1_metrics_small.txt "$tmp_out"
