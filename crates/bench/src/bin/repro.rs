@@ -54,9 +54,11 @@
 //! compose (`--jobs` parallelises across runs, `--sim-threads`
 //! within one run).
 //!
-//! `--timing` reports wall-clock, events dispatched, and events/second
-//! per target on stderr and writes `BENCH_repro.json` at the repo root
-//! (appending a compact history entry per run); stdout is unchanged.
+//! `--timing` reports wall-clock, events dispatched, events/second,
+//! and each target's share of the total wall time on stderr, and
+//! writes `BENCH_repro.json` at the repo root (appending a compact
+//! history entry per run); stdout is unchanged. With `all` this is the
+//! per-phase wall-clock summary for the whole reproduction.
 //!
 //! `--trace <out.json>` (timeline targets `fig2`–`fig5` only) reruns
 //! the target with structured tracing on and writes a Chrome-trace JSON
@@ -66,6 +68,19 @@
 //! log. `--metrics` prints each traced run's metrics summary to stdout
 //! after the figure text (for `table1`, it prints the per-version
 //! workload metrics instead).
+//!
+//! `--attribution` (timeline targets `fig2`–`fig5`, plus `scale`)
+//! reruns the target with causal root-cause attribution on: every lost
+//! or deadline-missing request is classified into exactly one root
+//! cause (fault-window kill, retransmit/abort stall, broadcast freeze,
+//! detection lag, gray-link loss, overload queueing) and each run's
+//! text output is followed by the Pareto table, the conservation
+//! verdict (attributed losses sum exactly to the scored failures;
+//! attributed unavailable seconds to (1−AA)·T), the per-stage loss
+//! split, and the critical-path percentiles. Combine with `--report`
+//! to add a stacked root-cause-lane section per run to the HTML
+//! dashboard. Output is byte-identical across `--jobs` and
+//! `--sim-threads`.
 //!
 //! `--report <out.html>` (timeline targets `fig2`–`fig5` only) also
 //! writes a single-file HTML dashboard for the target: throughput
@@ -189,9 +204,15 @@ fn write_bench_json(
     let targets = timings
         .iter()
         .map(|t| {
+            let share = if total_wall > 0.0 {
+                t.wall_s / total_wall * 100.0
+            } else {
+                0.0
+            };
             jobj(&[
                 ("name", JsonValue::Str(t.name.clone())),
                 ("wall_s", ms3(t.wall_s)),
+                ("wall_share_pct", JsonValue::Float((share * 10.0).round() / 10.0)),
                 ("events", JsonValue::Int(t.events as i64)),
                 ("events_per_sec", JsonValue::Int(t.events_per_sec().round() as i64)),
                 ("sim_threads", JsonValue::Int(sim_threads as i64)),
@@ -214,16 +235,15 @@ fn write_bench_json(
     }
 }
 
-/// Builds the HTML dashboard for a timeline target from its already-run
-/// results, pulling the wall-time history from `BENCH_repro.json` if
-/// one exists next to the workspace root.
-fn build_report(
+/// Shared dashboard inputs: the meta block (titled from the figure
+/// text's first line) and the wall-time history from `BENCH_repro.json`
+/// if one exists next to the workspace root.
+fn report_inputs(
     target: &str,
     figure_text: &str,
-    runs: &[experiments::phase1::FaultRunResult],
     scale: RunScale,
     seed: u64,
-) -> String {
+) -> (report::ReportMeta, Vec<report::BenchHistoryPoint>) {
     let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repro.json");
     let history = std::fs::read_to_string(bench_path)
         .map(|text| report::parse_bench_history(&text))
@@ -239,6 +259,19 @@ fn build_report(
         scale: scale_name(scale).to_string(),
         seed,
     };
+    (meta, history)
+}
+
+/// Builds the HTML dashboard for a timeline target from its already-run
+/// results.
+fn build_report(
+    target: &str,
+    figure_text: &str,
+    runs: &[experiments::phase1::FaultRunResult],
+    scale: RunScale,
+    seed: u64,
+) -> String {
+    let (meta, history) = report_inputs(target, figure_text, scale, seed);
     report::render_report(&meta, runs, &history)
 }
 
@@ -292,6 +325,7 @@ fn main() {
     let mut jsonl_path: Option<String> = None;
     let mut report_path: Option<String> = None;
     let mut metrics = false;
+    let mut attribution = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -324,6 +358,7 @@ fn main() {
                 };
             }
             "--metrics" => metrics = true,
+            "--attribution" => attribution = true,
             "--seed" => {
                 seed = match it.next().and_then(|s| s.parse().ok()) {
                     Some(n) => n,
@@ -382,6 +417,36 @@ fn main() {
             println!("{}", experiments::membership_metrics(scale, seed, jobs));
         } else {
             println!("{}", experiments::membership::membership(scale, seed, jobs));
+        }
+        return;
+    }
+
+    // `--attribution`: rerun the target with the causal root-cause
+    // recorder on. Every lost/deadline-missing request lands in exactly
+    // one cause bucket; each run's figure text is followed by the
+    // Pareto table and the conservation verdict. `scale` attributes all
+    // sweep points; fig2..fig5 attribute their three timeline runs and
+    // compose with --report.
+    if attribution {
+        if target == "scale" {
+            println!("{}", experiments::scale_attributed(scale, seed, jobs));
+            return;
+        }
+        let Some((text, runs)) =
+            experiments::figures::attributed_timeline(&target, scale, seed, jobs)
+        else {
+            eprintln!("--attribution applies to the timeline targets fig2..fig5 and scale");
+            std::process::exit(2);
+        };
+        println!("{text}");
+        if let Some(out) = &report_path {
+            let (meta, history) = report_inputs(&target, &text, scale, seed);
+            let html = report::render_report_attributed(&meta, &runs, &history);
+            if let Err(e) = std::fs::write(out, &html) {
+                eprintln!("could not write {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {out} ({} bytes)", html.len());
         }
         return;
     }
@@ -545,15 +610,20 @@ fn main() {
         eprintln!("\n--- timing (jobs = {jobs}, sim-threads = {sim_threads}) ---");
         for t in &timings {
             eprintln!(
-                "{:<22} {:>8.3} s  {:>12} events  {:>12.0} events/s",
+                "{:<22} {:>8.3} s  {:>12} events  {:>12.0} events/s  {:>5.1}%",
                 t.name,
                 t.wall_s,
                 t.events,
-                t.events_per_sec()
+                t.events_per_sec(),
+                if total_wall > 0.0 {
+                    t.wall_s / total_wall * 100.0
+                } else {
+                    0.0
+                }
             );
         }
         eprintln!(
-            "{:<22} {:>8.3} s  {:>12} events  {:>12.0} events/s",
+            "{:<22} {:>8.3} s  {:>12} events  {:>12.0} events/s  {:>5.1}%",
             "total",
             total_wall,
             total_events,
@@ -561,7 +631,8 @@ fn main() {
                 total_events as f64 / total_wall
             } else {
                 0.0
-            }
+            },
+            if total_wall > 0.0 { 100.0 } else { 0.0 }
         );
         // The harness lives two levels below the repo root.
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repro.json");

@@ -65,6 +65,10 @@ pub struct ClusterConfig {
     /// across `N` scoped workers advancing in fabric-lookahead windows,
     /// byte-identical to sequential (see the `par` module).
     pub sim_threads: usize,
+    /// Causal root-cause attribution (off by default; near-free when
+    /// off). When on, every lost or deadline-missing request is
+    /// classified into exactly one [`telemetry::RootCause`].
+    pub attribution: bool,
 }
 
 impl ClusterConfig {
@@ -91,6 +95,7 @@ impl ClusterConfig {
             restart_delay: SimDuration::from_secs(3),
             trace: telemetry::TraceConfig::OFF,
             sim_threads: default_sim_threads(),
+            attribution: false,
         }
     }
 
@@ -315,6 +320,10 @@ pub struct ClusterSim {
     process_log: Vec<(SimTime, NodeId, ProcEvent)>,
     last_members: Vec<usize>,
     sink: telemetry::TraceSink,
+    /// Root-cause attribution accumulator (`None` when disabled). All
+    /// records flow through the facade in `(time, seq)` order, so the
+    /// result is byte-identical across `--jobs` and `--sim-threads`.
+    attr: Option<Box<telemetry::AttrState>>,
     /// Sampled in-flight requests: id → (issue time, target node).
     traced_requests: std::collections::BTreeMap<u64, (SimTime, usize)>,
     /// Work queue reused across events (allocation-free steady state).
@@ -408,6 +417,15 @@ impl ClusterSim {
                 slot.press.set_trace(true);
             }
         }
+        let attr = config
+            .attribution
+            .then(|| Box::new(telemetry::AttrState::new(n)));
+        if attr.is_some() {
+            for slot in &mut nodes {
+                slot.sub.set_attr(true);
+                slot.press.set_attr(true);
+            }
+        }
         let timers = if config.version.uses_via() {
             None
         } else {
@@ -425,6 +443,7 @@ impl ClusterSim {
             membership_log: Vec::new(),
             process_log: Vec::new(),
             sink,
+            attr,
             traced_requests: std::collections::BTreeMap::new(),
             work: VecDeque::new(),
             fx_pool: FxPool::default(),
@@ -572,6 +591,25 @@ impl ClusterSim {
         self.sink.take()
     }
 
+    /// Whether root-cause attribution is live for this run.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attr.is_some()
+    }
+
+    /// Takes the attribution accumulator frozen into its report
+    /// (`None` when attribution is off or already taken).
+    pub fn take_attr(&mut self) -> Option<telemetry::AttrReport> {
+        self.attr.take().map(|a| a.finish())
+    }
+
+    /// Records one attribution event (no-op when attribution is off).
+    #[inline]
+    fn record_attr(&mut self, now: SimTime, node: usize, ev: telemetry::AttrEvent) {
+        if let Some(a) = &mut self.attr {
+            a.record(now, node, ev);
+        }
+    }
+
     /// Snapshots every layer's counters and gauges into one registry:
     /// transport stats, PRESS behaviour counters, per-node CPU busy
     /// fractions, client outcome tallies and the current splinter count
@@ -685,7 +723,12 @@ impl ClusterSim {
             }
             Ev::Reply { node, gen, req_id } => {
                 if self.nodes[node].running && self.nodes[node].gen == gen {
-                    self.clients.complete(now, req_id);
+                    // Mirror the pool exactly: a late reply does not
+                    // score, so it must not close the causal record
+                    // either (the pending deadline will classify it).
+                    if self.clients.complete(now, req_id) {
+                        self.record_attr(now, node, telemetry::AttrEvent::Completed { req_id });
+                    }
                     if let Some((issued, target)) = self.traced_requests.remove(&req_id) {
                         self.sink.emit(
                             telemetry::TraceEvent::span(
@@ -709,6 +752,7 @@ impl ClusterSim {
                 if !self.fabric.node_up(target) || slot.frozen {
                     // Machine unresponsive: SYN goes nowhere.
                     self.clients.connect_failed();
+                    self.record_attr(now, target.0, telemetry::AttrEvent::ConnFailed);
                     if traced {
                         self.sink.emit(
                             telemetry::TraceEvent::instant(
@@ -724,6 +768,7 @@ impl ClusterSim {
                 } else if !slot.running {
                     // Machine up, process dead: refused immediately.
                     self.clients.refused();
+                    self.record_attr(now, target.0, telemetry::AttrEvent::Refused);
                     if traced {
                         self.sink.emit(
                             telemetry::TraceEvent::instant(
@@ -742,6 +787,7 @@ impl ClusterSim {
                         self.traced_requests.insert(req.id, (now, target.0));
                     }
                     let deadline = self.clients.accepted(now, req.id);
+                    self.record_attr(now, target.0, telemetry::AttrEvent::Accepted { req_id: req.id });
                     // Deadlines are always `now + request_timeout`, so the
                     // stream is monotone: the O(1) lane keeps these tens
                     // of thousands of far-future events out of the heap.
@@ -757,6 +803,7 @@ impl ClusterSim {
             }
             Ev::Client(ClientEvent::Deadline(id)) => {
                 self.clients.deadline(id);
+                self.record_attr(now, 0, telemetry::AttrEvent::DeadlineMiss { req_id: id });
                 if let Some((issued, target)) = self.traced_requests.remove(&id) {
                     self.sink.emit(
                         telemetry::TraceEvent::instant(
@@ -777,6 +824,7 @@ impl ClusterSim {
                 if slot.gen == gen && !slot.running && !slot.frozen {
                     slot.running = true;
                     self.process_log.push((now, NodeId(node), ProcEvent::Restart));
+                    self.record_attr(now, node, telemetry::AttrEvent::FaultEnd);
                     self.sink.emit_with(|| {
                         telemetry::TraceEvent::instant(
                             "process.restart",
@@ -924,12 +972,14 @@ impl ClusterSim {
                     if FaultLedger::edge(&mut counts.hang, true) {
                         self.fabric.set_node_up(node, false);
                         self.nodes[node.0].frozen = true;
+                        self.record_attr(now, node.0, telemetry::AttrEvent::FaultBegin);
                     }
                 } else if FaultLedger::edge(&mut counts.hang, false) {
                     let crashed = counts.crash > 0;
                     if !crashed {
                         self.fabric.set_node_up(node, true);
                     }
+                    self.record_attr(now, node.0, telemetry::AttrEvent::FaultEnd);
                     let slot = &mut self.nodes[node.0];
                     slot.frozen = false;
                     let frozen_work = std::mem::take(&mut slot.freezer);
@@ -963,9 +1013,11 @@ impl ClusterSim {
                 if FaultLedger::edge(&mut self.ledger.nodes[node.0].app_hang, inject) {
                     if inject {
                         self.nodes[node.0].hung = true;
+                        self.record_attr(now, node.0, telemetry::AttrEvent::FaultBegin);
                         self.work.push_back((node.0, Work::SetHung(true)));
                     } else {
                         self.nodes[node.0].hung = false;
+                        self.record_attr(now, node.0, telemetry::AttrEvent::FaultEnd);
                         self.work.push_back((node.0, Work::SetHung(false)));
                         let frozen_work = std::mem::take(&mut self.nodes[node.0].freezer);
                         for w in frozen_work {
@@ -1036,6 +1088,9 @@ impl ClusterSim {
         slot.freezer.clear();
         slot.sub.restart(now);
         self.process_log.push((now, NodeId(node), ProcEvent::Exit));
+        if let Some(a) = &mut self.attr {
+            a.record(now, node, telemetry::AttrEvent::FaultBegin);
+        }
         self.sink
             .emit_with(|| telemetry::TraceEvent::instant("process.exit", "proc", node as u32, now));
         if let Some(delay) = restart_after {
@@ -1124,10 +1179,20 @@ impl ClusterSim {
                 match a {
                     ClientAccept::Accepted => {
                         let deadline = self.clients.accepted(now, req_id);
+                        self.record_attr(now, i, telemetry::AttrEvent::Accepted { req_id });
                         self.engine
                             .schedule_fifo(deadline, Ev::Client(ClientEvent::Deadline(req_id)));
                     }
-                    ClientAccept::Dropped => self.clients.connect_failed(),
+                    ClientAccept::Dropped(reason) => {
+                        self.clients.connect_failed();
+                        let ev = match reason {
+                            press::DropReason::DeferOverflow => {
+                                telemetry::AttrEvent::DroppedOverflow
+                            }
+                            press::DropReason::Admission => telemetry::AttrEvent::DroppedBacklog,
+                        };
+                        self.record_attr(now, i, ev);
+                    }
                 }
             }
             self.apply_effects(now, i, &mut fx, &mut app);
@@ -1158,6 +1223,8 @@ impl ClusterSim {
                         // still counts as lost in the fabric stats.
                         if !reason.silent() {
                             self.work.push_back((i, Work::TransmitFailed(frame.dst, reason)));
+                        } else {
+                            self.record_attr(now, i, telemetry::AttrEvent::GrayLoss);
                         }
                     }
                 },
@@ -1172,6 +1239,9 @@ impl ClusterSim {
                 }
                 Effect::Trace(ev) => {
                     self.sink.emit(ev);
+                }
+                Effect::Attr(ev) => {
+                    self.record_attr(now, i, ev);
                 }
             }
         }
@@ -1450,6 +1520,70 @@ mod tests {
                 assert_eq!(base_ev, ev, "{version} dispatched-event count");
             }
         }
+    }
+
+    /// Attribution must conserve against the pool (every scored loss
+    /// classified exactly once) and be byte-identical across thread
+    /// counts — the records flow through the same replayed channel as
+    /// traces, so this exercises the whole evidence pipeline.
+    #[test]
+    fn attribution_conserves_and_is_thread_invariant() {
+        for version in [PressVersion::Tcp, PressVersion::Via5] {
+            let run = |threads: usize| {
+                use mendosus::FaultSpec;
+                let mut config = ClusterConfig::small(version);
+                config.sim_threads = threads;
+                config.attribution = true;
+                let campaign = Campaign::single(FaultSpec::transient(
+                    FaultKind::NodeCrash,
+                    NodeId(1),
+                    SimTime::from_secs(2),
+                    SimDuration::from_secs(2),
+                ));
+                let mut sim = ClusterSim::with_campaign(config, campaign, 23);
+                sim.run_until(SimTime::from_secs(8));
+                let report = sim.report();
+                let attr = sim.take_attr().expect("attribution was enabled");
+                (attr, report)
+            };
+            let (base, report) = run(1);
+            let totals = telemetry::RunTotals {
+                attempts: report.availability.attempts,
+                successes: report.availability.successes,
+                failures: report.availability.failures(),
+                duration_s: 8.0,
+            };
+            assert!(totals.failures > 0, "{version}: the crash must cost requests");
+            let (ok, detail) = base.conservation(&totals);
+            assert!(ok, "{version}: conservation failed: {detail}");
+            // The crash window must show up as attributed fault kills.
+            assert!(
+                base.counts[telemetry::RootCause::FaultKill as usize] > 0,
+                "{version}: no fault-kill attributions across a node crash: {:?}",
+                base.counts
+            );
+            for threads in [2, 4] {
+                let (par, _) = run(threads);
+                assert_eq!(base, par, "{version} attribution diverged at sim_threads={threads}");
+            }
+        }
+    }
+
+    /// With attribution off nothing is recorded and the run results are
+    /// byte-identical to a run that never heard of attribution.
+    #[test]
+    fn attribution_off_changes_nothing() {
+        let run = |attribution: bool| {
+            let mut config = ClusterConfig::small(PressVersion::Tcp);
+            config.attribution = attribution;
+            let mut sim = ClusterSim::new(config, 7);
+            sim.run_until(SimTime::from_secs(5));
+            (sim.report().throughput.points, sim.take_attr().is_some())
+        };
+        let (off, had_off) = run(false);
+        let (on, had_on) = run(true);
+        assert!(!had_off && had_on);
+        assert_eq!(off, on, "attribution perturbed the simulation");
     }
 
     #[test]

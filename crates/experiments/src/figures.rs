@@ -13,7 +13,10 @@ use simnet::fabric::NodeId;
 use simnet::SimTime;
 
 use crate::cluster::{ClusterConfig, ClusterSim};
-use crate::phase1::{run_fault_experiment, run_fault_experiment_traced, FaultRunResult, FaultScenario};
+use crate::phase1::{
+    attr_stage_spans, attr_totals, run_fault_experiment, run_fault_experiment_attributed,
+    run_fault_experiment_traced, FaultRunResult, FaultScenario,
+};
 use crate::phase2::{behaviors_for_load, evaluate, version_profiles, RunScale, VersionProfile};
 use crate::render::{bar, sparkline, table};
 use crate::runner::run_indexed;
@@ -353,6 +356,46 @@ pub fn traced_timeline(
     }
     out.push_str(footer);
     Some((out, traces))
+}
+
+/// Attributed variant of the timeline figures (`fig2`–`fig5`): the
+/// figure text with each run followed by its root-cause attribution
+/// section (Pareto table, conservation verdict, losses by stage,
+/// critical-path percentiles), plus the `(result, report)` pairs in
+/// task order for the HTML report. Byte-identical for any `jobs` ×
+/// `sim_threads`. `None` when `target` is not a timeline figure.
+pub fn attributed_timeline(
+    target: &str,
+    scale: RunScale,
+    seed: u64,
+    jobs: usize,
+) -> Option<(String, Vec<(FaultRunResult, telemetry::AttrReport)>)> {
+    let (header, runs, footer) = timeline_spec(target)?;
+    let results = run_indexed(jobs, runs, |_i, (v, kind)| {
+        let config = match scale {
+            RunScale::Paper => ClusterConfig::fault_experiment(v),
+            RunScale::Small => ClusterConfig::small(v),
+        };
+        let scenario = match scale {
+            RunScale::Paper => FaultScenario::standard(kind, NodeId(3)),
+            RunScale::Small => FaultScenario::quick(kind, NodeId(3)),
+        };
+        run_fault_experiment_attributed(config, scenario, seed)
+    });
+    let mut out = format!("{header}\n\n");
+    for (r, attr) in &results {
+        out.push_str(&render_timeline(r));
+        out.push('\n');
+        let label = format!(
+            "{} under {} (seed {seed})",
+            r.version.name(),
+            r.fault.kind.name()
+        );
+        out.push_str(&attr.render_text(&label, &attr_totals(r), &attr_stage_spans(r)));
+        out.push('\n');
+    }
+    out.push_str(footer);
+    Some((out, results))
 }
 
 /// Figure 2: throughput under a transient link failure.

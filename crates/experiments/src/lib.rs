@@ -42,12 +42,12 @@ pub use montecarlo::{
     McReplication, McRun, MonteCarloSetup, OverlapProfile,
 };
 pub use phase1::{
-    measure_warmup, run_fault_experiment, run_fault_experiment_traced, FaultRunResult,
-    FaultScenario,
+    attr_stage_spans, attr_totals, measure_warmup, run_fault_experiment,
+    run_fault_experiment_attributed, run_fault_experiment_traced, FaultRunResult, FaultScenario,
 };
 pub use phase2::{
     behaviors_for_load, evaluate, version_profile, version_profiles, Phase2Result, RunScale,
     VersionProfile,
 };
 pub use runner::{effective_jobs, run_indexed};
-pub use scale::{scale_metrics, scale_study, ScalePoint};
+pub use scale::{scale_attributed, scale_metrics, scale_study, ScalePoint};

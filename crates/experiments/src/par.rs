@@ -148,6 +148,12 @@ enum Op {
     LogProcessRestart { node: usize },
     /// Pre-built trace event (transport traces, client instants).
     Trace(Box<telemetry::TraceEvent>),
+    /// Attribution record, applied into the facade's `AttrState` at
+    /// the replay slot (so the record order is exactly sequential).
+    Attr {
+        node: usize,
+        ev: telemetry::AttrEvent,
+    },
 }
 
 /// Worker-side mirror of [`ConnTimers`]: the facade keeps the engine
@@ -194,6 +200,9 @@ struct ShardState {
     bound: SimTime,
     /// Sender-side frame losses this split (merged via `note_lost`).
     lost: u64,
+    /// Whether attribution is live (gates the worker-side lifecycle
+    /// ops so the disabled path stays allocation-free).
+    attr_on: bool,
 }
 
 impl ShardState {
@@ -221,6 +230,7 @@ impl ShardState {
             restart_delay: SimDuration::ZERO,
             bound: SimTime::ZERO,
             lost: 0,
+            attr_on: false,
         }
     }
 
@@ -638,6 +648,7 @@ fn replay_arrival(
 /// Sequential `Ev::Client(Deadline)` handling, verbatim.
 fn facade_deadline(sim: &mut ClusterSim, now: SimTime, id: u64) {
     sim.clients.deadline(id);
+    sim.record_attr(now, 0, telemetry::AttrEvent::DeadlineMiss { req_id: id });
     if let Some((issued, target)) = sim.traced_requests.remove(&id) {
         sim.sink.emit(
             telemetry::TraceEvent::instant("request.timeout", "client", target as u32, now)
@@ -723,7 +734,12 @@ fn apply_op(sim: &mut ClusterSim, driver: &mut Driver, shard: u32, at: SimTime, 
         Op::ClientConnFailed => sim.clients.connect_failed(),
         Op::ClientRefused => sim.clients.refused(),
         Op::ClientComplete { req_id } => {
-            sim.clients.complete(at, req_id);
+            // Same late-reply rule as the sequential path: only a
+            // scored completion closes the causal record.
+            if sim.clients.complete(at, req_id) {
+                // The node index is irrelevant for `Completed`.
+                sim.record_attr(at, 0, telemetry::AttrEvent::Completed { req_id });
+            }
             if let Some((issued, target)) = sim.traced_requests.remove(&req_id) {
                 sim.sink.emit(
                     telemetry::TraceEvent::span(
@@ -755,17 +771,20 @@ fn apply_op(sim: &mut ClusterSim, driver: &mut Driver, shard: u32, at: SimTime, 
         }
         Op::LogProcessExit { node } => {
             sim.process_log.push((at, NodeId(node), ProcEvent::Exit));
+            sim.record_attr(at, node, telemetry::AttrEvent::FaultBegin);
             sim.sink.emit_with(|| {
                 telemetry::TraceEvent::instant("process.exit", "proc", node as u32, at)
             });
         }
         Op::LogProcessRestart { node } => {
             sim.process_log.push((at, NodeId(node), ProcEvent::Restart));
+            sim.record_attr(at, node, telemetry::AttrEvent::FaultEnd);
             sim.sink.emit_with(|| {
                 telemetry::TraceEvent::instant("process.restart", "proc", node as u32, at)
             });
         }
         Op::Trace(ev) => sim.sink.emit(*ev),
+        Op::Attr { node, ev } => sim.record_attr(at, node, ev),
     }
 }
 
@@ -856,6 +875,9 @@ fn step(sh: &mut ShardState, now: SimTime, wev: WEv) -> u8 {
             let li = node - sh.start;
             if !sh.flags.node_up[node] || sh.nodes[li].frozen {
                 sh.ops.push(Op::ClientConnFailed);
+                if sh.attr_on {
+                    sh.ops.push(Op::Attr { node, ev: telemetry::AttrEvent::ConnFailed });
+                }
                 if traced {
                     sh.ops.push(Op::Trace(Box::new(
                         telemetry::TraceEvent::instant(
@@ -870,6 +892,9 @@ fn step(sh: &mut ShardState, now: SimTime, wev: WEv) -> u8 {
                 }
             } else if !sh.nodes[li].running {
                 sh.ops.push(Op::ClientRefused);
+                if sh.attr_on {
+                    sh.ops.push(Op::Attr { node, ev: telemetry::AttrEvent::Refused });
+                }
                 if traced {
                     sh.ops.push(Op::Trace(Box::new(
                         telemetry::TraceEvent::instant(
@@ -887,6 +912,12 @@ fn step(sh: &mut ShardState, now: SimTime, wev: WEv) -> u8 {
                     sh.ops.push(Op::TracedInsert { req_id: req.id, target: node });
                 }
                 sh.ops.push(Op::ClientAccepted { req_id: req.id });
+                if sh.attr_on {
+                    sh.ops.push(Op::Attr {
+                        node,
+                        ev: telemetry::AttrEvent::Accepted { req_id: req.id },
+                    });
+                }
                 sh.nodes[li].freezer.push(Work::Client(req));
             } else {
                 if traced {
@@ -1022,8 +1053,27 @@ fn drain_work_local(sh: &mut ShardState, now: SimTime) {
         }
         if let Some((req_id, a)) = accept {
             match a {
-                ClientAccept::Accepted => sh.ops.push(Op::ClientAccepted { req_id }),
-                ClientAccept::Dropped => sh.ops.push(Op::ClientConnFailed),
+                ClientAccept::Accepted => {
+                    sh.ops.push(Op::ClientAccepted { req_id });
+                    if sh.attr_on {
+                        sh.ops.push(Op::Attr {
+                            node: i,
+                            ev: telemetry::AttrEvent::Accepted { req_id },
+                        });
+                    }
+                }
+                ClientAccept::Dropped(reason) => {
+                    sh.ops.push(Op::ClientConnFailed);
+                    if sh.attr_on {
+                        let ev = match reason {
+                            press::DropReason::DeferOverflow => {
+                                telemetry::AttrEvent::DroppedOverflow
+                            }
+                            press::DropReason::Admission => telemetry::AttrEvent::DroppedBacklog,
+                        };
+                        sh.ops.push(Op::Attr { node: i, ev });
+                    }
+                }
             }
         }
         apply_effects_local(sh, now, i, &mut fx, &mut app);
@@ -1059,6 +1109,8 @@ fn apply_effects_local(
                         // losses never surface a transport error.
                         if !reason.silent() {
                             sh.work.push_back((i, Work::TransmitFailed(frame.dst, reason)));
+                        } else if sh.attr_on {
+                            sh.ops.push(Op::Attr { node: i, ev: telemetry::AttrEvent::GrayLoss });
                         }
                     }
                 }
@@ -1069,6 +1121,7 @@ fn apply_effects_local(
             }
             Effect::Upcall(u) => sh.work.push_back((i, Work::Upcall(u))),
             Effect::Trace(ev) => sh.ops.push(Op::Trace(Box::new(ev))),
+            Effect::Attr(ev) => sh.ops.push(Op::Attr { node: i, ev }),
         }
     }
     for a in app.drain(..) {
@@ -1177,6 +1230,7 @@ fn split(sim: &mut ClusterSim, shard_count: usize, tokens: &mut TokenMap) -> Vec
             restart_delay: sim.config.restart_delay,
             bound: SimTime::ZERO,
             lost: 0,
+            attr_on: sim.attr.is_some(),
         });
     }
     shards

@@ -168,6 +168,46 @@ fn stage_spans(result: &FaultRunResult) -> Vec<telemetry::TraceEvent> {
         .collect()
 }
 
+/// Runs one single-fault experiment with causal attribution on and
+/// returns the run's [`telemetry::AttrReport`] alongside the result:
+/// every lost or deadline-missing request classified into exactly one
+/// root cause, conservation-checkable against the run's client-pool
+/// totals ([`attr_totals`]).
+pub fn run_fault_experiment_attributed(
+    mut config: ClusterConfig,
+    scenario: FaultScenario,
+    seed: u64,
+) -> (FaultRunResult, telemetry::AttrReport) {
+    config.attribution = true;
+    let (result, mut sim) = run_fault_experiment_inner(config, scenario, seed);
+    let attr = sim.take_attr().expect("attribution enabled");
+    (result, attr)
+}
+
+/// The client-pool totals an attribution report is conserved against:
+/// the scored attempts/successes/failures and the run length.
+pub fn attr_totals(result: &FaultRunResult) -> telemetry::RunTotals {
+    let a = &result.report.availability;
+    telemetry::RunTotals {
+        attempts: a.attempts,
+        successes: a.successes,
+        failures: a.failures(),
+        duration_s: result.markers.end,
+    }
+}
+
+/// The run's non-empty stage spans as `(name, t0, t1)` — the stage axis
+/// of the attribution loss tables.
+pub fn attr_stage_spans(result: &FaultRunResult) -> Vec<(String, f64, f64)> {
+    result
+        .markers
+        .intervals()
+        .into_iter()
+        .filter(|&(_, t0, t1)| t1 > t0)
+        .map(|(stage, t0, t1)| (stage.to_string(), t0, t1))
+        .collect()
+}
+
 fn run_fault_experiment_inner(
     config: ClusterConfig,
     scenario: FaultScenario,

@@ -88,6 +88,8 @@ pub struct ScalePoint {
     pub ctrl_per_req: f64,
     /// Node-level metrics snapshot, when requested.
     pub metrics: Option<String>,
+    /// Rendered root-cause attribution section, when requested.
+    pub attr_text: Option<String>,
 }
 
 /// Short label for a sync protocol ("eager" / "digest").
@@ -173,6 +175,15 @@ pub fn scale_config(
     c
 }
 
+/// Optional per-point collectors: the node-level metrics snapshot
+/// (`--metrics`) and the root-cause attribution report
+/// (`--attribution`).
+#[derive(Clone, Copy, Default)]
+struct PointExtras {
+    metrics: bool,
+    attr: bool,
+}
+
 /// One sweep point: cold-start run with a transient node-1 crash.
 fn node_crash_point(
     scale: RunScale,
@@ -181,7 +192,7 @@ fn node_crash_point(
     sync: CacheSyncImpl,
     detector: Option<MembershipImpl>,
     seed: u64,
-    with_metrics: bool,
+    extras: PointExtras,
 ) -> ScalePoint {
     let run_s = run_secs(scale);
     let campaign = Campaign::single(FaultSpec::transient(
@@ -190,16 +201,32 @@ fn node_crash_point(
         SimTime::from_secs(fault_at_s(scale)),
         SimDuration::from_secs(crash_secs(scale)),
     ));
-    let config = scale_config(scale, n, version, sync, detector);
+    let mut config = scale_config(scale, n, version, sync, detector);
+    config.attribution = extras.attr;
     let mut sim = ClusterSim::with_campaign(config, campaign, seed);
     sim.run_until(SimTime::from_secs(run_s));
     let report = sim.report();
-    let metrics = with_metrics.then(|| {
+    let metrics = extras.metrics.then(|| {
         sim.metrics_snapshot().text_summary(&format!(
             "scale node-crash {} {} n{n} seed{seed}",
             version.name(),
             sync_name(sync)
         ))
+    });
+    let attr_text = sim.take_attr().map(|a| {
+        let totals = telemetry::RunTotals {
+            attempts: report.availability.attempts,
+            successes: report.availability.successes,
+            failures: report.availability.failures(),
+            duration_s: run_s as f64,
+        };
+        let label = format!(
+            "scale node-crash N={n} {} {} {} seed{seed}",
+            version.name(),
+            sync_name(sync),
+            detector.map_or("-", detector_name),
+        );
+        a.render_text(&label, &totals, &[])
     });
     let tn = sim
         .mean_throughput(run_s as f64 - tn_window_s(scale), run_s as f64)
@@ -223,6 +250,7 @@ fn node_crash_point(
         ctrl_frames,
         ctrl_per_req,
         metrics,
+        attr_text,
     }
 }
 
@@ -252,7 +280,7 @@ pub fn sweep_nodes(scale: RunScale) -> &'static [usize] {
 /// Runs the full sweep, fanned across `jobs` workers. Output is in
 /// sweep order and byte-identical for any `jobs`/`sim_threads`.
 pub fn scale_study(scale: RunScale, seed: u64, jobs: usize) -> Vec<ScalePoint> {
-    study_points(sweep_nodes(scale), scale, seed, jobs, false)
+    study_points(sweep_nodes(scale), scale, seed, jobs, false, false)
 }
 
 /// The sweep over an explicit node list (tests run a shortened one).
@@ -262,6 +290,7 @@ pub fn study_points(
     seed: u64,
     jobs: usize,
     with_metrics: bool,
+    with_attr: bool,
 ) -> Vec<ScalePoint> {
     let tasks: Vec<(usize, PointSpec)> = nodes
         .iter()
@@ -271,7 +300,11 @@ pub fn study_points(
         // Independent, index-derived seeds: identical regardless of
         // which worker runs the point.
         let s = seed.wrapping_add(7919 * (i as u64 + 1));
-        node_crash_point(scale, n, version, sync, detector, s, with_metrics)
+        let extras = PointExtras {
+            metrics: with_metrics,
+            attr: with_attr,
+        };
+        node_crash_point(scale, n, version, sync, detector, s, extras)
     })
 }
 
@@ -329,11 +362,27 @@ pub fn scale(scale: RunScale, seed: u64, jobs: usize) -> String {
     study_text(&scale_study(scale, seed, jobs))
 }
 
+/// The `repro -- scale --attribution` text: the scaling table followed
+/// by every point's root-cause attribution section — which mechanism
+/// (fault-window kill, detection lag, broadcast freeze, ...) ate each
+/// point's availability, conservation-checked against its client pool.
+pub fn scale_attributed(scale: RunScale, seed: u64, jobs: usize) -> String {
+    let points = study_points(sweep_nodes(scale), scale, seed, jobs, false, true);
+    let mut out = study_text(&points);
+    for p in &points {
+        if let Some(a) = &p.attr_text {
+            out.push('\n');
+            out.push_str(a);
+        }
+    }
+    out
+}
+
 /// The `repro -- scale --metrics` text: the scaling table, the sweep's
 /// `scale.*` gauges, and the node-level snapshot (with the
 /// `press.cache.*` digest counters) of each digest-mode run.
 pub fn scale_metrics(scale: RunScale, seed: u64, jobs: usize) -> String {
-    let points = study_points(sweep_nodes(scale), scale, seed, jobs, true);
+    let points = study_points(sweep_nodes(scale), scale, seed, jobs, true, false);
     let mut reg = telemetry::MetricsRegistry::new();
     for p in &points {
         let key = format!(
@@ -382,7 +431,7 @@ pub fn scalebench(scale: RunScale, seed: u64) -> String {
         CacheSyncImpl::Digest,
         Some(MembershipImpl::Ring),
         seed,
-        false,
+        PointExtras::default(),
     );
     format!(
         "scalebench: N={} {} digest ring  Tn={:.0} req/s  AT={:.0} req/s  \
@@ -414,7 +463,7 @@ mod tests {
             sync,
             Some(MembershipImpl::Ring),
             seed,
-            false,
+            PointExtras::default(),
         )
     }
 
@@ -583,8 +632,23 @@ mod tests {
     /// cheapest point in-process).
     #[test]
     fn study_is_deterministic_across_jobs() {
-        let a = study_points(&[4], RunScale::Small, 5, 1, false);
-        let b = study_points(&[4], RunScale::Small, 5, 2, false);
+        let a = study_points(&[4], RunScale::Small, 5, 1, false, false);
+        let b = study_points(&[4], RunScale::Small, 5, 2, false, false);
         assert_eq!(a, b);
+    }
+
+    /// Every attributed sweep point must satisfy the conservation law
+    /// (per-cause losses sum to the pool's failures, unavailable time
+    /// to (1-AA)·T), and the rendered sections must be byte-identical
+    /// across job counts.
+    #[test]
+    fn attributed_sweep_conserves_every_point() {
+        let a = study_points(&[4], RunScale::Small, 5, 1, false, true);
+        let b = study_points(&[4], RunScale::Small, 5, 2, false, true);
+        assert_eq!(a, b);
+        for p in &a {
+            let text = p.attr_text.as_deref().expect("attribution on");
+            assert!(text.contains("conservation: OK"), "{text}");
+        }
     }
 }

@@ -107,6 +107,16 @@ pub enum AppEffect {
     },
 }
 
+/// Why a client arrival was turned away (for root-cause attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The node was frozen on a blocked send and its deferred queue
+    /// overflowed (§5.4).
+    DeferOverflow,
+    /// Admission control shed the request under CPU backlog.
+    Admission,
+}
+
 /// Outcome of handing a client request to the node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClientAccept {
@@ -114,7 +124,7 @@ pub enum ClientAccept {
     Accepted,
     /// The listen/accept queue was full (the client's connection attempt
     /// will time out).
-    Dropped,
+    Dropped(DropReason),
 }
 
 /// Everything a node entry point may touch, borrowed from the
@@ -234,6 +244,7 @@ pub struct PressNode {
     deferred: VecDeque<Deferred>,
     stats: NodeStats,
     trace: bool,
+    attr: bool,
 }
 
 impl PressNode {
@@ -269,6 +280,7 @@ impl PressNode {
             deferred: VecDeque::new(),
             stats: NodeStats::default(),
             trace: false,
+            attr: false,
         }
     }
 
@@ -277,6 +289,13 @@ impl PressNode {
     /// collect.
     pub fn set_trace(&mut self, enabled: bool) {
         self.trace = enabled;
+    }
+
+    /// Enables or disables causal attribution evidence; evidence is
+    /// appended to `ctx.fx` as [`transport::Effect::Attr`] for the
+    /// cluster's attribution accumulator.
+    pub fn set_attr(&mut self, enabled: bool) {
+        self.attr = enabled;
     }
 
     /// This node's id.
@@ -372,6 +391,11 @@ impl PressNode {
         self.rejoin_tries = 0;
         self.open_requests = 0;
         self.pending_remote.clear();
+        if self.attr && self.stalled.is_some() {
+            // A restart clears a frozen data path; close the stall
+            // window so attribution does not blame it forever.
+            ctx.fx.push(transport::Effect::Attr(telemetry::AttrEvent::StallEnd));
+        }
         self.stalled = None;
         self.deferred.clear();
         self.cache.clear();
@@ -477,6 +501,9 @@ impl PressNode {
         match ctx.sub.send(ctx.now, peer, class, msg.clone(), bytes, params, ctx.fx) {
             SendStatus::Accepted => true,
             SendStatus::WouldBlock => {
+                if self.attr && self.stalled.is_none() {
+                    ctx.fx.push(transport::Effect::Attr(telemetry::AttrEvent::StallBegin));
+                }
                 self.stalled = Some(Stalled {
                     msg,
                     remaining: VecDeque::from([peer]),
@@ -520,6 +547,9 @@ impl PressNode {
                 .send(ctx.now, peer, class, msg.clone(), bytes, params, ctx.fx)
             {
                 SendStatus::WouldBlock => {
+                    if self.attr && self.stalled.is_none() {
+                        ctx.fx.push(transport::Effect::Attr(telemetry::AttrEvent::StallBegin));
+                    }
                     self.stalled = Some(Stalled { msg, remaining });
                     return;
                 }
@@ -542,15 +572,20 @@ impl PressNode {
     pub fn client_request<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, req: Request) -> ClientAccept {
         if self.is_blocked() {
             if self.deferred.len() < self.config.deferred_cap {
+                if self.attr {
+                    ctx.fx.push(transport::Effect::Attr(telemetry::AttrEvent::Deferred {
+                        req_id: req.id,
+                    }));
+                }
                 self.deferred.push_back(Deferred::Client(req));
                 return ClientAccept::Accepted;
             }
             self.stats.dropped_deferred += 1;
-            return ClientAccept::Dropped;
+            return ClientAccept::Dropped(DropReason::DeferOverflow);
         }
         if ctx.cpu.backlog(ctx.now) > self.config.admission_backlog {
             self.stats.dropped_admission += 1;
-            return ClientAccept::Dropped;
+            return ClientAccept::Dropped(DropReason::Admission);
         }
         self.open_requests += 1;
         let done = ctx.cpu.charge(ctx.now, self.config.accept_parse_cost);
@@ -580,6 +615,12 @@ impl PressNode {
         match holder {
             Some(service) => {
                 self.stats.served_remote += 1;
+                if self.attr {
+                    ctx.fx.push(transport::Effect::Attr(telemetry::AttrEvent::Forwarded {
+                        req_id: req.id,
+                        peer: service.0 as u32,
+                    }));
+                }
                 self.pending_remote.insert(req.id, (req, service));
                 ctx.app.push(AppEffect::ScheduleMonotone {
                     at: ctx.now + simnet::SimDuration::from_secs(6),
@@ -799,6 +840,11 @@ impl PressNode {
                 if self.pending_remote.remove(&req_id).is_some() {
                     self.stats.forward_timeouts += 1;
                     self.open_requests = self.open_requests.saturating_sub(1);
+                    if self.attr {
+                        ctx.fx.push(transport::Effect::Attr(
+                            telemetry::AttrEvent::ForwardTimeout { req_id },
+                        ));
+                    }
                 }
             }
             ev if self.is_blocked() => self.defer(Deferred::Event(ev)),
@@ -848,7 +894,7 @@ impl PressNode {
         if let Some(pred) = self.ring_predecessor() {
             let last = self.last_hb.get(&pred).copied().unwrap_or(ctx.now);
             if ctx.now.saturating_since(last) >= self.config.hb_detect_threshold() {
-                self.exclude(ctx, pred);
+                self.exclude(ctx, pred, false);
             }
         }
         ctx.app.push(AppEffect::Schedule {
@@ -929,7 +975,7 @@ impl PressNode {
                 }
                 gossip::Command::Confirm { node } => {
                     self.end_suspicion_span(ctx, node, "confirmed");
-                    self.exclude(ctx, node);
+                    self.exclude(ctx, node, false);
                 }
                 gossip::Command::Refute { incarnation } => {
                     if self.trace {
@@ -1056,7 +1102,16 @@ impl PressNode {
         Some(m[(i + m.len() - 1) % m.len()])
     }
 
-    fn exclude<S: Substrate<PressMsg> + ?Sized>(&mut self, ctx: &mut NodeCtx<'_, S>, peer: NodeId) {
+    /// Removes `peer` from the membership. `abort` says how the failure
+    /// was established: `true` for a transport-level connection break
+    /// (reset/abort), `false` for a failure-detector verdict — the
+    /// distinction feeds root-cause attribution of flushed forwards.
+    fn exclude<S: Substrate<PressMsg> + ?Sized>(
+        &mut self,
+        ctx: &mut NodeCtx<'_, S>,
+        peer: NodeId,
+        abort: bool,
+    ) {
         if peer == self.id || !self.members.remove(&peer) {
             return;
         }
@@ -1092,6 +1147,12 @@ impl PressNode {
             self.pending_remote.remove(&id);
             self.stats.forward_timeouts += 1;
             self.open_requests = self.open_requests.saturating_sub(1);
+            if self.attr {
+                ctx.fx.push(transport::Effect::Attr(telemetry::AttrEvent::ForwardFlushed {
+                    req_id: id,
+                    abort,
+                }));
+            }
         }
         // Reset the heartbeat view of the (possibly new) predecessor so
         // a ring change does not trigger an instant cascade.
@@ -1105,6 +1166,9 @@ impl PressNode {
             if stalled.remaining.is_empty() {
                 self.stalled = None;
                 unblocked = true;
+                if self.attr {
+                    ctx.fx.push(transport::Effect::Attr(telemetry::AttrEvent::StallEnd));
+                }
             }
         }
         // Propagate the reconfiguration (§3: the ring structure is
@@ -1178,7 +1242,7 @@ impl PressNode {
             }
             // PRESS's failure detector: a broken connection means the
             // peer died (§3).
-            self.exclude(ctx, peer);
+            self.exclude(ctx, peer, true);
         }
     }
 
@@ -1204,6 +1268,7 @@ impl PressNode {
                 .send(ctx.now, target, class, msg.clone(), bytes, params, ctx.fx)
             {
                 SendStatus::WouldBlock => {
+                    // The same logical stall continues; no new window.
                     self.stalled = Some(Stalled { msg, remaining });
                     return;
                 }
@@ -1215,6 +1280,9 @@ impl PressNode {
                     remaining.pop_front();
                 }
             }
+        }
+        if self.attr {
+            ctx.fx.push(transport::Effect::Attr(telemetry::AttrEvent::StallEnd));
         }
         self.drain(ctx);
     }
@@ -1301,7 +1369,7 @@ impl PressNode {
             }
             MsgBody::MemberDown { node } => {
                 if self.members.contains(&peer) && node != self.id {
-                    self.exclude(ctx, node);
+                    self.exclude(ctx, node, false);
                 }
             }
             MsgBody::RejoinRequest => {
@@ -2007,7 +2075,10 @@ mod tests {
         // Pile 2 s of backlog onto the CPU.
         rig.cpu.charge(SimTime::from_secs(1), simnet::SimDuration::from_secs(2));
         rig.with(|n, ctx| {
-            assert_eq!(n.client_request(ctx, req(9, 0)), ClientAccept::Dropped);
+            assert_eq!(
+                n.client_request(ctx, req(9, 0)),
+                ClientAccept::Dropped(DropReason::Admission)
+            );
         });
         assert_eq!(rig.node.stats().dropped_admission, 1);
     }
@@ -2464,7 +2535,7 @@ mod tests {
         assert_eq!(rig.node.directory().holders(8), &[NodeId(1)]);
         assert!(rig.node.directory().holders(9).is_empty());
         // A digest from a non-member is ignored.
-        rig.with(|n, ctx| n.exclude(ctx, NodeId(2)));
+        rig.with(|n, ctx| n.exclude(ctx, NodeId(2), false));
         deliver(&mut rig, 2);
         assert!(rig.node.directory().holders(7).contains(&NodeId(1)));
         assert!(!rig.node.directory().holders(7).contains(&NodeId(2)));

@@ -31,5 +31,7 @@ pub mod montecarlo;
 mod svg;
 
 pub use audit::{audit_run, audit_series, AuditConfig, AuditSegment, Finding, FindingKind, RunAudit};
-pub use dashboard::{parse_bench_history, render_report, BenchHistoryPoint, ReportMeta};
+pub use dashboard::{
+    parse_bench_history, render_report, render_report_attributed, BenchHistoryPoint, ReportMeta,
+};
 pub use montecarlo::render_mc_report;

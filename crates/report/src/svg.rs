@@ -432,6 +432,142 @@ pub fn mc_timeline_svg(
     s
 }
 
+/// Per-cause CSS color variables for the attribution chart, in
+/// [`telemetry::RootCause`] index order.
+const ATTR_COLORS: [&str; telemetry::NCAUSES] = [
+    "--status-critical", // fault-window kill
+    "--series-2",        // retransmit/abort stall
+    "--series-1",        // broadcast freeze
+    "--status-serious",  // detection lag
+    "--muted",           // gray-link loss
+    "--baseline",        // overload queueing
+];
+
+/// Renders one run's root-cause attribution timeline: a stacked bar per
+/// simulated second (losses split by cause, in index order bottom-up)
+/// over the plot, and one lane per cause below the axis marking the
+/// seconds in which that cause took losses.
+pub fn attr_svg(timeline: &[[u64; telemetry::NCAUSES]], end: f64, aria_label: &str) -> String {
+    let end = end.max(timeline.len() as f64).max(1.0);
+    let peak = timeline
+        .iter()
+        .map(|b| b.iter().sum::<u64>())
+        .max()
+        .unwrap_or(0)
+        .max(1) as f64;
+    let ymax = peak * 1.08;
+    let x = |t: f64| L + (t / end).clamp(0.0, 1.0) * PLOT_W;
+    let y = |v: f64| T + PLOT_H * (1.0 - (v / ymax).clamp(0.0, 1.0));
+
+    const LANE_H: f64 = 11.0;
+    let lane_y0 = T + PLOT_H + 20.0;
+    let h = lane_y0 + telemetry::NCAUSES as f64 * LANE_H + 6.0;
+
+    let mut s = format!(
+        "<svg viewBox=\"0 0 {w} {h}\" width=\"{w}\" height=\"{h}\" role=\"img\" \
+         aria-label=\"{label}\" xmlns=\"http://www.w3.org/2000/svg\">\n",
+        w = c(W),
+        h = c(h),
+        label = esc(aria_label),
+    );
+
+    // Gridlines + ticks + baseline, same recipe as the other timelines.
+    let ystep = nice_step(ymax, 4);
+    let mut v = 0.0;
+    while v <= ymax {
+        s.push_str(&format!(
+            "<line x1=\"{x0}\" y1=\"{yy}\" x2=\"{x1}\" y2=\"{yy}\" \
+             style=\"stroke:var(--gridline);stroke-width:1\"/>\n\
+             <text x=\"{lx}\" y=\"{ly}\" text-anchor=\"end\" \
+             style=\"fill:var(--muted)\">{val:.0}</text>\n",
+            x0 = c(L),
+            x1 = c(W - R),
+            yy = c(y(v)),
+            lx = c(L - 6.0),
+            ly = c(y(v) + 3.5),
+            val = v,
+        ));
+        v += ystep;
+    }
+    let xstep = nice_step(end, 6);
+    let mut t = 0.0;
+    while t <= end {
+        s.push_str(&format!(
+            "<text x=\"{x}\" y=\"{y}\" text-anchor=\"middle\" \
+             style=\"fill:var(--muted)\">{t:.0}s</text>\n",
+            x = c(x(t)),
+            y = c(T + PLOT_H + 14.0),
+        ));
+        t += xstep;
+    }
+    s.push_str(&format!(
+        "<line x1=\"{x0}\" y1=\"{yy}\" x2=\"{x1}\" y2=\"{yy}\" \
+         style=\"stroke:var(--baseline);stroke-width:1\"/>\n",
+        x0 = c(L),
+        x1 = c(W - R),
+        yy = c(T + PLOT_H),
+    ));
+
+    // Stacked per-second bars, cause index order bottom-up.
+    for (sec, bucket) in timeline.iter().enumerate() {
+        let x0 = x(sec as f64);
+        let w = (x(sec as f64 + 1.0) - x0).max(0.5);
+        let mut cum = 0u64;
+        for (ci, &n) in bucket.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let y1 = y((cum + n) as f64);
+            let y0 = y(cum as f64);
+            s.push_str(&format!(
+                "<rect x=\"{x0}\" y=\"{y1}\" width=\"{w}\" height=\"{bh}\" \
+                 style=\"fill:var({var});opacity:0.85\"/>\n",
+                x0 = c(x0),
+                y1 = c(y1),
+                w = c(w),
+                bh = c((y0 - y1).max(0.3)),
+                var = ATTR_COLORS[ci],
+            ));
+            cum += n;
+        }
+    }
+
+    // One lane per cause: a strip for every contiguous run of seconds
+    // in which the cause took losses, labelled at the left edge.
+    for (ci, cause) in telemetry::CAUSES.iter().enumerate() {
+        let ly = lane_y0 + ci as f64 * LANE_H;
+        let mut sec = 0usize;
+        while sec < timeline.len() {
+            if timeline[sec][ci] == 0 {
+                sec += 1;
+                continue;
+            }
+            let start = sec;
+            while sec < timeline.len() && timeline[sec][ci] > 0 {
+                sec += 1;
+            }
+            s.push_str(&format!(
+                "<rect x=\"{x0}\" y=\"{ly}\" width=\"{w}\" height=\"7\" rx=\"2\" \
+                 style=\"fill:var({var});opacity:0.75\"/>\n",
+                x0 = c(x(start as f64)),
+                ly = c(ly),
+                w = c((x(sec as f64) - x(start as f64)).max(1.0)),
+                var = ATTR_COLORS[ci],
+            ));
+        }
+        // Label on top of the strips so it stays readable.
+        s.push_str(&format!(
+            "<text x=\"{tx}\" y=\"{ty}\" style=\"fill:var(--text-secondary)\">{label}</text>\n",
+            tx = c(L + 2.0),
+            ty = c(ly + 6.5),
+            label = esc(cause.key()),
+        ));
+    }
+
+    s.push_str("</svg>\n");
+    s
+}
+
 /// A small single-series sparkline with first/last value labels — used
 /// for the `repro -- all` wall-time history.
 pub fn history_svg(values: &[f64], unit: &str, aria_label: &str) -> String {

@@ -135,12 +135,27 @@ pub fn chrome_trace_json(runs: &[RunTrace]) -> String {
     out
 }
 
+/// JSONL schema name, emitted in the leading header record.
+pub const JSONL_SCHEMA: &str = "press-trace-jsonl";
+/// JSONL schema version; bump when event-record fields change shape.
+pub const JSONL_VERSION: u64 = 1;
+
 /// Renders runs as a JSONL event log: one JSON object per line, in
 /// run order then emission order. Easier to grep/post-process than the
 /// Chrome document.
+///
+/// The first line is a header record identifying the schema and the
+/// log's extent — `{"schema":"press-trace-jsonl","version":1,
+/// "runs":R,"events":E}` — so consumers can validate what they are
+/// reading (and how much of it) before touching any event line.
 pub fn jsonl_log(runs: &[RunTrace]) -> String {
     let total: usize = runs.iter().map(|r| r.events.len()).sum();
-    let mut out = String::with_capacity(total * 112);
+    let mut out = String::with_capacity(total * 112 + 80);
+    let _ = writeln!(
+        out,
+        "{{\"schema\":\"{JSONL_SCHEMA}\",\"version\":{JSONL_VERSION},\"runs\":{},\"events\":{total}}}",
+        runs.len()
+    );
     for run in runs {
         for ev in &run.events {
             out.push_str("{\"run\":\"");
@@ -214,11 +229,42 @@ mod tests {
     fn jsonl_is_one_object_per_line() {
         let log = jsonl_log(&[sample_run()]);
         let lines: Vec<&str> = log.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3, "header + 2 events");
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
         assert!(log.contains("\"ts_us\":1234.567"));
+    }
+
+    #[test]
+    fn jsonl_header_round_trips_through_the_parser() {
+        let runs = [sample_run(), sample_run()];
+        let log = jsonl_log(&runs);
+        let header = crate::json::parse(log.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            header.get("schema").and_then(crate::json::JsonValue::as_str),
+            Some(JSONL_SCHEMA)
+        );
+        assert_eq!(
+            header.get("version").and_then(crate::json::JsonValue::as_i64),
+            Some(JSONL_VERSION as i64)
+        );
+        assert_eq!(
+            header.get("runs").and_then(crate::json::JsonValue::as_i64),
+            Some(2)
+        );
+        // The advertised extent matches the actual event-line count, so
+        // a consumer can detect truncated logs.
+        let events = header
+            .get("events")
+            .and_then(crate::json::JsonValue::as_i64)
+            .unwrap();
+        assert_eq!(events as usize, log.lines().count() - 1);
+        // Every event line parses as a JSON object too.
+        for line in log.lines().skip(1) {
+            let ev = crate::json::parse(line).unwrap();
+            assert!(ev.get("run").is_some() && ev.get("ts_us").is_some(), "{line}");
+        }
     }
 
     #[test]

@@ -24,17 +24,24 @@
 //! * [`json`] — a dependency-free JSON value type (sorted-key,
 //!   byte-deterministic writer + strict parser) shared by the bench
 //!   harness (`BENCH_repro.json`) and the report generator.
+//! * [`attr`] — causal root-cause attribution: every lost or late
+//!   request is classified into exactly one communication-architecture
+//!   cause (fault kill, retransmit stall, broadcast freeze, detection
+//!   lag, gray loss, overload), conservation-checked against the
+//!   client pool's scores.
 //!
 //! The crate depends only on `simnet` (for [`simnet::SimTime`]); the
 //! transports, PRESS, and the composition layer all emit into it.
 
+pub mod attr;
 pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 
+pub use attr::{AttrEvent, AttrReport, AttrState, RootCause, RunTotals, CAUSES, NCAUSES};
 pub use event::{Arg, ArgValue, EventKind, TraceEvent, TID_CLIENTS, TID_CLUSTER, TID_STAGES};
-pub use export::{chrome_trace_json, jsonl_log, RunTrace};
+pub use export::{chrome_trace_json, jsonl_log, RunTrace, JSONL_SCHEMA, JSONL_VERSION};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::{TraceConfig, TraceSink};

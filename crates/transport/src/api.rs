@@ -294,6 +294,11 @@ pub enum Effect<M> {
     /// benchmark path never constructs one; the composition layer
     /// forwards it to the run's [`telemetry::TraceSink`].
     Trace(telemetry::TraceEvent),
+    /// Record a causal attribution event (retransmit/abort/freeze
+    /// evidence). Only emitted after [`Substrate::set_attr`] enabled
+    /// attribution; the composition layer applies it to the run's
+    /// [`telemetry::AttrState`] in event order.
+    Attr(telemetry::AttrEvent),
 }
 
 /// Convenience alias: the buffer all transport entry points append
@@ -395,6 +400,12 @@ pub trait Substrate<M: Clone> {
     /// aborts, descriptor errors, connection breaks...) alongside its
     /// ordinary effects. Default: ignored (never traces).
     fn set_trace(&mut self, _enabled: bool) {}
+
+    /// Enables or disables causal attribution. While enabled, the
+    /// transport appends [`Effect::Attr`] evidence (retransmissions,
+    /// aborts) alongside its ordinary effects. Default: ignored
+    /// (never attributes).
+    fn set_attr(&mut self, _enabled: bool) {}
 
     /// Dumps this endpoint's lifetime counters into a metrics
     /// registry (names like `tcp.retransmissions`); counters from all

@@ -136,6 +136,11 @@ impl<M: Clone> Substrate<M> for SubstrateImpl<M> {
         dispatch!(self, s => Substrate::set_trace(s, enabled))
     }
 
+    #[inline]
+    fn set_attr(&mut self, enabled: bool) {
+        dispatch!(self, s => Substrate::set_attr(s, enabled))
+    }
+
     fn export_metrics(&self, reg: &mut telemetry::MetricsRegistry) {
         dispatch!(self, s => Substrate::export_metrics(s, reg))
     }

@@ -252,6 +252,8 @@ pub struct TcpStack<M> {
     /// Structured-tracing switch; checked before any trace event is
     /// even constructed so the disabled path costs one branch.
     trace: bool,
+    /// Causal-attribution switch, same discipline as `trace`.
+    attr: bool,
 }
 
 impl<M: Clone> TcpStack<M> {
@@ -271,6 +273,7 @@ impl<M: Clone> TcpStack<M> {
             delivery: Vec::new(),
             stats: TcpStats::default(),
             trace: false,
+            attr: false,
         }
     }
 
@@ -925,6 +928,9 @@ impl<M: Clone> Substrate<M> for TcpStack<M> {
                         .arg_u64("peer", peer.0 as u64)
                         .arg_u64("stalled_us", now.saturating_since(first).as_nanos() / 1_000)));
                     }
+                    if self.attr {
+                        out.push(Effect::Attr(telemetry::AttrEvent::Abort));
+                    }
                     self.teardown(now, peer, conn, BreakReason::RetransmitTimeout, true, out);
                     return;
                 }
@@ -969,6 +975,9 @@ impl<M: Clone> Substrate<M> for TcpStack<M> {
                     .arg_u64("peer", peer.0 as u64)
                     .arg_u64("seq", seq)
                     .arg_u64("rto_us", rto.as_nanos() / 1_000)));
+                }
+                if self.attr {
+                    out.push(Effect::Attr(telemetry::AttrEvent::Retransmit));
                 }
                 out.push(Effect::Transmit(self.frame(peer, seg)));
                 self.arm_timer(now, peer, conn, TimerKind::Retransmit, rto, out);
@@ -1017,6 +1026,10 @@ impl<M: Clone> Substrate<M> for TcpStack<M> {
 
     fn set_trace(&mut self, enabled: bool) {
         self.trace = enabled;
+    }
+
+    fn set_attr(&mut self, enabled: bool) {
+        self.attr = enabled;
     }
 
     fn export_metrics(&self, reg: &mut telemetry::MetricsRegistry) {
@@ -1092,7 +1105,8 @@ mod tests {
                     effects.extend(out);
                 }
                 Effect::Upcall(u) => upcalls.push(u),
-                Effect::SetTimer { .. } | Effect::ChargeCpu(_) | Effect::Trace(_) => {}
+                Effect::SetTimer { .. } | Effect::ChargeCpu(_) | Effect::Trace(_)
+                | Effect::Attr(_) => {}
             }
         }
         upcalls

@@ -265,6 +265,8 @@ pub struct ViaNic<M> {
     /// Structured-tracing switch; checked before any trace event is
     /// even constructed so the disabled path costs one branch.
     trace: bool,
+    /// Causal-attribution switch, same discipline as `trace`.
+    attr: bool,
     /// Data-descriptor counter used to sample `via.descriptor` events
     /// while tracing (unstalled descriptors are emitted 1-in-64).
     trace_seq: u64,
@@ -287,6 +289,7 @@ impl<M: Clone> ViaNic<M> {
             parked: Vec::new(),
             stats: ViaStats::default(),
             trace: false,
+            attr: false,
             trace_seq: 0,
         }
     }
@@ -392,6 +395,9 @@ impl<M: Clone> ViaNic<M> {
                 )
                 .arg_u64("peer", peer.0 as u64)
                 .arg_str("reason", reason.label())));
+            }
+            if self.attr && !matches!(reason, BreakReason::LocalClose) {
+                out.push(Effect::Attr(telemetry::AttrEvent::Abort));
             }
             out.push(Effect::Upcall(Upcall::ConnBroken { peer, reason }));
         }
@@ -861,6 +867,10 @@ impl<M: Clone> Substrate<M> for ViaNic<M> {
         self.trace = enabled;
     }
 
+    fn set_attr(&mut self, enabled: bool) {
+        self.attr = enabled;
+    }
+
     fn export_metrics(&self, reg: &mut telemetry::MetricsRegistry) {
         /// Pre-rendered `via.pinned_pages.nodeN` keys for the node counts
         /// the paper's clusters actually use, so a metrics export does
@@ -939,7 +949,8 @@ mod tests {
                     effects.extend(out);
                 }
                 Effect::Upcall(u) => upcalls.push(u),
-                Effect::SetTimer { .. } | Effect::ChargeCpu(_) | Effect::Trace(_) => {}
+                Effect::SetTimer { .. } | Effect::ChargeCpu(_) | Effect::Trace(_)
+                | Effect::Attr(_) => {}
             }
         }
         upcalls

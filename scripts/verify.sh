@@ -179,6 +179,65 @@ awk -v d="$df16" -v e="$ef16" 'BEGIN { exit !(2 * (d+0) < e+0) }' \
     || { echo "scale gate: digest frames at N=16 ($df16) not under half of eager ($ef16)" >&2; exit 1; }
 echo "   eager ctrl/req $e4 -> $e16 (linear), digest $d4 -> $d16 (flat); frames $df16 vs $ef16"
 
+echo "== repro fig3 --attribution vs golden"
+# Root-cause attribution: every lost/deadline-missing request is
+# classified into exactly one cause bucket. The golden pins the three
+# runs' Pareto tables, conservation verdicts, stage splits, and
+# critical-path percentiles across --jobs and --sim-threads.
+cargo run --release -q -p bench --bin repro -- fig3 --small --attribution --jobs 0 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_fig3_attr_small.txt "$tmp_out"
+cargo run --release -q -p bench --bin repro -- fig3 --small --attribution --sim-threads 2 >"$tmp_out" 2>/dev/null
+diff -u scripts/golden_fig3_attr_small.txt "$tmp_out"
+echo "   fig3 attribution identical at --jobs 0 and --sim-threads 2"
+
+echo "== attribution conservation gates"
+# The conservation law, re-derived here from the printed tables rather
+# than trusted from the binary's own verdict: per-cause losses must sum
+# exactly to the total attributed (integers, exact), the per-block
+# verdict must be OK with its full-precision time delta under 1e-9
+# (attributed unavailable seconds == (1-AA)*T), and the printed
+# unavailable-seconds columns must re-add within printed precision.
+check_conservation() {
+    # $1 = output file, $2 = expected number of attribution blocks
+    if grep -q "conservation: FAIL" "$1"; then
+        echo "conservation gate: FAIL verdict present in $1" >&2
+        return 1
+    fi
+    ok=$(grep -c "^conservation: OK" "$1" || true)
+    if [ "$ok" -ne "$2" ]; then
+        echo "conservation gate: expected $2 OK verdicts, found $ok" >&2
+        return 1
+    fi
+    if [ "$(grep -c "time delta .* < 1e-9" "$1" || true)" -ne "$2" ]; then
+        echo "conservation gate: a block's time delta is not under 1e-9" >&2
+        return 1
+    fi
+    awk '
+        /^cause +lost/ { inblk = 1; sum = 0; usum = 0; next }
+        inblk && /^total attributed/ {
+            if (sum != $3) { printf "count mismatch: causes sum %d != total %d\n", sum, $3; bad = 1 }
+            d = usum - $4; if (d < 0) d = -d
+            if (d > 5e-6) { printf "unavail mismatch: causes sum %.6f != total %.6f\n", usum, $4; bad = 1 }
+            utot = $4; next
+        }
+        inblk && /^in-flight residual/ { ures = $4; next }
+        inblk && /^\(1-AA\)\*T/ {
+            d = utot + ures - $2; if (d < 0) d = -d
+            if (d > 5e-6) { printf "time mismatch: %.6f + %.6f != %.6f\n", utot, ures, $2; bad = 1 }
+            inblk = 0; blocks++; next
+        }
+        inblk { sum += $(NF-3); usum += $NF }
+        END {
+            if (blocks != expect) { printf "expected %d attribution blocks, saw %d\n", expect, blocks; bad = 1 }
+            exit bad
+        }' expect="$2" "$1"
+}
+check_conservation "$tmp_out" 3
+echo "   fig3: 3/3 runs conserve (counts exact, time under 1e-9)"
+cargo run --release -q -p bench --bin repro -- scale --small --attribution --jobs 0 >"$tmp_out" 2>/dev/null
+check_conservation "$tmp_out" 12
+echo "   scale: 12/12 sweep points conserve"
+
 echo "== repro table1 --metrics vs golden"
 cargo run --release -q -p bench --bin repro -- table1 --small --metrics --jobs 0 >"$tmp_out" 2>/dev/null
 diff -u scripts/golden_table1_metrics_small.txt "$tmp_out"
